@@ -1,0 +1,137 @@
+// Command lsrc is the compiler driver: it compiles and runs mini-Scheme
+// programs under any allocator configuration, optionally dumping the
+// generated code and the machine's measurements.
+//
+// Usage:
+//
+//	lsrc [flags] file.scm
+//	lsrc [flags] -e '(+ 1 2)'
+//	echo '(display "hi")' | lsrc [flags] -
+//
+// Flags select the save strategy (-saves lazy|early|late), restore
+// policy (-restores eager|lazy), shuffler (-shuffle greedy|optimal|naive),
+// register counts (-argregs N -userregs N), the callee-save mode
+// (-calleesave N), and diagnostics (-dump, -stats, -validate, -interp,
+// -bench NAME).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/lsr"
+)
+
+func main() {
+	var (
+		expr      = flag.String("e", "", "evaluate this expression instead of a file")
+		benchName = flag.String("bench", "", "run the named benchmark from the evaluation suite")
+		saves     = flag.String("saves", "lazy", "save strategy: lazy, early or late")
+		restores  = flag.String("restores", "eager", "restore policy: eager or lazy")
+		shuffle   = flag.String("shuffle", "greedy", "argument shuffler: greedy, optimal or naive")
+		argRegs   = flag.Int("argregs", 6, "argument registers (c)")
+		userRegs  = flag.Int("userregs", 6, "user-variable registers (l)")
+		calleeSv  = flag.Int("calleesave", 0, "enable callee-save mode with N callee-save registers")
+		predict   = flag.Bool("predict", false, "enable static branch prediction")
+		noPrelude = flag.Bool("no-prelude", false, "omit the Scheme runtime library")
+		dump      = flag.Bool("dump", false, "print the compiled code")
+		stats     = flag.Bool("stats", false, "print machine counters after the run")
+		validate  = flag.Bool("validate", false, "poison registers at call boundaries (restore validation)")
+		interp    = flag.Bool("interp", false, "run the reference interpreter instead of compiling")
+		quiet     = flag.Bool("q", false, "suppress the result value")
+	)
+	flag.Parse()
+
+	src, err := readSource(*expr, *benchName, flag.Args())
+	if err != nil {
+		fail(err)
+	}
+
+	if *interp {
+		v, err := lsr.Interpret(src, os.Stdout)
+		if err != nil {
+			fail(err)
+		}
+		if !*quiet {
+			fmt.Println(v)
+		}
+		return
+	}
+
+	opts, err := buildOptions(*saves, *restores, *shuffle, *argRegs, *userRegs, *calleeSv, *predict, *noPrelude)
+	if err != nil {
+		fail(err)
+	}
+	prog, err := lsr.Compile(src, opts)
+	if err != nil {
+		fail(err)
+	}
+	if *dump {
+		fmt.Print(prog.Disassemble())
+	}
+	run := prog.Run
+	if *validate {
+		run = prog.RunValidated
+	}
+	res, err := run(os.Stdout)
+	if err != nil {
+		fail(err)
+	}
+	if !*quiet {
+		fmt.Println(res.Value)
+	}
+	if *stats {
+		fmt.Fprint(os.Stderr, res.Counters.String())
+	}
+}
+
+func readSource(expr, benchName string, args []string) (string, error) {
+	switch {
+	case expr != "":
+		return expr, nil
+	case benchName != "":
+		b, err := lsr.BenchmarkByName(benchName)
+		if err != nil {
+			return "", err
+		}
+		return b.Source, nil
+	case len(args) == 1 && args[0] == "-":
+		data, err := io.ReadAll(os.Stdin)
+		return string(data), err
+	case len(args) == 1:
+		data, err := os.ReadFile(args[0])
+		return string(data), err
+	default:
+		return "", fmt.Errorf("usage: lsrc [flags] file.scm | lsrc -e EXPR | lsrc -bench NAME (see -h)")
+	}
+}
+
+func buildOptions(saves, restores, shuffle string, argRegs, userRegs, calleeSave int, predict, noPrelude bool) (lsr.Options, error) {
+	opts := lsr.DefaultOptions()
+	var err error
+	if opts.Saves, err = lsr.ParseSaveStrategy(saves); err != nil {
+		return opts, err
+	}
+	if opts.Restores, err = lsr.ParseRestorePolicy(restores); err != nil {
+		return opts, err
+	}
+	if opts.Shuffle, err = lsr.ParseShuffleMethod(shuffle); err != nil {
+		return opts, err
+	}
+	opts.Config.ArgRegs = argRegs
+	opts.Config.UserRegs = userRegs
+	if calleeSave > 0 {
+		opts.Config.CalleeSaveRegs = calleeSave
+		opts.CalleeSave = true
+	}
+	opts.PredictBranches = predict
+	opts.NoPrelude = noPrelude
+	return opts, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "lsrc:", err)
+	os.Exit(1)
+}

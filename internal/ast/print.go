@@ -1,0 +1,123 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sexp"
+)
+
+// Print renders an expression back into S-expression notation for dumps
+// and tests. Variables print with their unique IDs so shadowing is
+// visible.
+func Print(e Expr) string {
+	var b strings.Builder
+	printExpr(&b, e)
+	return b.String()
+}
+
+// PrintProgram renders all definitions and the body of a program.
+func PrintProgram(p *Program) string {
+	var b strings.Builder
+	for _, d := range p.Defs {
+		fmt.Fprintf(&b, "(define %s ", d.Name)
+		printExpr(&b, d.Rhs)
+		b.WriteString(")\n")
+	}
+	printExpr(&b, p.Body)
+	b.WriteString("\n")
+	return b.String()
+}
+
+func printExpr(b *strings.Builder, e Expr) {
+	switch t := e.(type) {
+	case *Const:
+		if needsQuote(t.Value) {
+			b.WriteString("'")
+		}
+		b.WriteString(t.Value.String())
+	case *Ref:
+		b.WriteString(t.Var.String())
+	case *GlobalRef:
+		b.WriteString(string(t.Name))
+	case *If:
+		b.WriteString("(if ")
+		printExpr(b, t.Test)
+		b.WriteByte(' ')
+		printExpr(b, t.Then)
+		b.WriteByte(' ')
+		printExpr(b, t.Else)
+		b.WriteByte(')')
+	case *Begin:
+		b.WriteString("(begin")
+		for _, x := range t.Exprs {
+			b.WriteByte(' ')
+			printExpr(b, x)
+		}
+		b.WriteByte(')')
+	case *Lambda:
+		b.WriteString("(lambda (")
+		for i, v := range t.Params {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(v.String())
+		}
+		b.WriteString(") ")
+		printExpr(b, t.Body)
+		b.WriteByte(')')
+	case *Let:
+		printBindingForm(b, "let", t.Vars, t.Inits, t.Body)
+	case *Letrec:
+		printBindingForm(b, "letrec", t.Vars, t.Inits, t.Body)
+	case *Set:
+		b.WriteString("(set! ")
+		b.WriteString(t.Var.String())
+		b.WriteByte(' ')
+		printExpr(b, t.Rhs)
+		b.WriteByte(')')
+	case *GlobalSet:
+		b.WriteString("(set! ")
+		b.WriteString(string(t.Name))
+		b.WriteByte(' ')
+		printExpr(b, t.Rhs)
+		b.WriteByte(')')
+	case *Call:
+		b.WriteByte('(')
+		printExpr(b, t.Fn)
+		for _, a := range t.Args {
+			b.WriteByte(' ')
+			printExpr(b, a)
+		}
+		b.WriteByte(')')
+	default:
+		fmt.Fprintf(b, "#<unknown %T>", e)
+	}
+}
+
+func printBindingForm(b *strings.Builder, head string, vars []*Var, inits []Expr, body Expr) {
+	b.WriteByte('(')
+	b.WriteString(head)
+	b.WriteString(" (")
+	for i, v := range vars {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteByte('[')
+		b.WriteString(v.String())
+		b.WriteByte(' ')
+		printExpr(b, inits[i])
+		b.WriteByte(']')
+	}
+	b.WriteString(") ")
+	printExpr(b, body)
+	b.WriteByte(')')
+}
+
+func needsQuote(d sexp.Datum) bool {
+	switch d.(type) {
+	case sexp.Symbol, *sexp.Pair, sexp.Empty:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,214 @@
+package bench
+
+// boyer: the Gabriel logic-rewriting benchmark — a unifier/rewriter that
+// normalizes a tautology and checks it. Property lists become a global
+// association list keyed by symbol (get/put). The rule database is the
+// core subset of the original's (the full list is ~100 rules of the same
+// shape; the reduced set preserves the rewrite behaviour on the
+// benchmark term).
+
+func init() {
+	register(Program{
+		Name:        "boyer",
+		Description: "term rewriting + tautology checking (Bob Boyer's benchmark)",
+		Source:      boyerSource,
+		Expect:      "#t",
+	})
+}
+
+const boyerSource = `
+(define props (box '()))
+(define (put sym key val)
+  (let ([cell (assq sym (unbox props))])
+    (if cell
+        (let ([entry (assq key (cdr cell))])
+          (if entry
+              (set-cdr! entry val)
+              (set-cdr! cell (cons (cons key val) (cdr cell)))))
+        (set-box! props (cons (list sym (cons key val)) (unbox props)))))
+  val)
+(define (get sym key)
+  (let ([cell (assq sym (unbox props))])
+    (if cell
+        (let ([entry (assq key (cdr cell))])
+          (if entry (cdr entry) #f))
+        #f)))
+
+(define unify-subst (box '()))
+
+(define (one-way-unify term1 term2)
+  (set-box! unify-subst '())
+  (one-way-unify1 term1 term2))
+
+(define (one-way-unify1 term1 term2)
+  (cond
+    [(not (pair? term2))
+     (let ([temp (assq term2 (unbox unify-subst))])
+       (cond
+         [temp (equal? term1 (cdr temp))]
+         [else
+          (set-box! unify-subst (cons (cons term2 term1) (unbox unify-subst)))
+          #t]))]
+    [(not (pair? term1)) #f]
+    [(eq? (car term1) (car term2))
+     (one-way-unify1-lst (cdr term1) (cdr term2))]
+    [else #f]))
+
+(define (one-way-unify1-lst lst1 lst2)
+  (cond
+    [(null? lst1) (null? lst2)]
+    [(null? lst2) #f]
+    [(one-way-unify1 (car lst1) (car lst2))
+     (one-way-unify1-lst (cdr lst1) (cdr lst2))]
+    [else #f]))
+
+(define (apply-subst alist term)
+  (if (not (pair? term))
+      (let ([temp (assq term alist)])
+        (if temp (cdr temp) term))
+      (cons (car term) (apply-subst-lst alist (cdr term)))))
+
+(define (apply-subst-lst alist lst)
+  (if (null? lst)
+      '()
+      (cons (apply-subst alist (car lst))
+            (apply-subst-lst alist (cdr lst)))))
+
+(define (rewrite term)
+  (if (not (pair? term))
+      term
+      (rewrite-with-lemmas
+        (cons (car term) (rewrite-args (cdr term)))
+        (get (car term) 'lemmas))))
+
+(define (rewrite-args lst)
+  (if (null? lst)
+      '()
+      (cons (rewrite (car lst)) (rewrite-args (cdr lst)))))
+
+(define (rewrite-with-lemmas term lst)
+  (cond
+    [(not lst) term]
+    [(null? lst) term]
+    [(one-way-unify term (cadr (car lst)))
+     (rewrite (apply-subst (unbox unify-subst) (caddr (car lst))))]
+    [else (rewrite-with-lemmas term (cdr lst))]))
+
+(define (truep x lst)
+  (or (equal? x '(t)) (member x lst)))
+(define (falsep x lst)
+  (or (equal? x '(f)) (member x lst)))
+
+(define (tautologyp x true-lst false-lst)
+  (cond
+    [(truep x true-lst) #t]
+    [(falsep x false-lst) #f]
+    [(not (pair? x)) #f]
+    [(eq? (car x) 'if)
+     (cond
+       [(truep (cadr x) true-lst)
+        (tautologyp (caddr x) true-lst false-lst)]
+       [(falsep (cadr x) false-lst)
+        (tautologyp (cadddr x) true-lst false-lst)]
+       [else
+        (and (tautologyp (caddr x) (cons (cadr x) true-lst) false-lst)
+             (tautologyp (cadddr x) true-lst (cons (cadr x) false-lst)))])]
+    [else #f]))
+(define (cadddr x) (car (cdddr x)))
+
+(define (tautp x) (tautologyp (rewrite x) '() '()))
+
+(define (add-lemma term)
+  (put (car (cadr term)) 'lemmas
+       (cons term (or (get (car (cadr term)) 'lemmas) '()))))
+
+(define (add-lemmas lst)
+  (if (null? lst) 'done (begin (add-lemma (car lst)) (add-lemmas (cdr lst)))))
+
+(add-lemmas '(
+  (equal (compile form) (reverse (codegen (optimize form) (nil))))
+  (equal (eqp x y) (equal (fix x) (fix y)))
+  (equal (greaterp x y) (lessp y x))
+  (equal (lesseqp x y) (not (lessp y x)))
+  (equal (greatereqp x y) (not (lessp x y)))
+  (equal (boolean x) (or (equal x (t)) (equal x (f))))
+  (equal (iff x y) (and (implies x y) (implies y x)))
+  (equal (even1 x) (if (zerop x) (t) (odd (sub1 x))))
+  (equal (countps- l pred) (countps-loop l pred (zero)))
+  (equal (fact- i) (fact-loop i 1))
+  (equal (reverse- x) (reverse-loop x (nil)))
+  (equal (divides x y) (zerop (remainder y x)))
+  (equal (assume-true var alist) (cons (cons var (t)) alist))
+  (equal (assume-false var alist) (cons (cons var (f)) alist))
+  (equal (tautology-checker x) (tautologyp (normalize x) (nil)))
+  (equal (falsify x) (falsify1 (normalize x) (nil)))
+  (equal (prime x) (and (not (zerop x))
+                        (not (equal x (add1 (zero))))
+                        (prime1 x (sub1 x))))
+  (equal (and p q) (if p (if q (t) (f)) (f)))
+  (equal (or p q) (if p (t) (if q (t) (f))))
+  (equal (not p) (if p (f) (t)))
+  (equal (implies p q) (if p (if q (t) (f)) (t)))
+  (equal (plus (plus x y) z) (plus x (plus y z)))
+  (equal (equal (plus a b) (zero)) (and (zerop a) (zerop b)))
+  (equal (difference x x) (zero))
+  (equal (equal (plus a b) (plus a c)) (equal b c))
+  (equal (equal (zero) (difference x y)) (not (lessp y x)))
+  (equal (equal x (difference x y)) (and (numberp x) (or (equal x (zero)) (zerop y))))
+  (equal (remainder (quotient x y) y) (zero))
+  (equal (remainder y 1) (zero))
+  (equal (lessp (remainder x y) y) (not (zerop y)))
+  (equal (remainder x x) (zero))
+  (equal (lessp (quotient i j) i)
+         (and (not (zerop i)) (or (zerop j) (not (equal j 1)))))
+  (equal (lessp (remainder x y) x)
+         (and (not (zerop y)) (not (zerop x)) (not (lessp x y))))
+  (equal (divides x y) (zerop (remainder y x)))
+  (equal (length (reverse x)) (length x))
+  (equal (member a (intersect b c)) (and (member a b) (member a c)))
+  (equal (nth (zero) i) (zero))
+  (equal (exp i (plus j k)) (times (exp i j) (exp i k)))
+  (equal (exp i (times j k)) (exp (exp i j) k))
+  (equal (reverse-loop x y) (append (reverse x) y))
+  (equal (reverse-loop x (nil)) (reverse x))
+  (equal (count-list z (sort-lp x y)) (plus (count-list z x) (count-list z y)))
+  (equal (equal (append a b) (append a c)) (equal b c))
+  (equal (plus (remainder x y) (times y (quotient x y))) (fix x))
+  (equal (power-eval (big-plus1 l i base) base) (plus (power-eval l base) i))
+  (equal (power-eval (big-plus x y i base) base)
+         (plus i (plus (power-eval x base) (power-eval y base))))
+  (equal (remainder y 1) (zero))
+  (equal (lessp (remainder x y) y) (not (zerop y)))
+  (equal (remainder x x) (zero))
+  (equal (times x (plus y z)) (plus (times x y) (times x z)))
+  (equal (times (times x y) z) (times x (times y z)))
+  (equal (equal (times x y) (zero)) (or (zerop x) (zerop y)))
+  (equal (exec (append x y) pds envrn) (exec y (exec x pds envrn) envrn))
+  (equal (mc-flatten x y) (append (flatten x) y))
+  (equal (member x (append a b)) (or (member x a) (member x b)))
+  (equal (member x (reverse y)) (member x y))
+  (equal (length (reverse x)) (length x))
+  (equal (member a (intersect b c)) (and (member a b) (member a c)))
+  (equal (if (if a b c) d e) (if a (if b d e) (if c d e)))
+  (equal (zerop x) (equal x (zero)))
+  (equal (equal x x) (t))
+  (equal (numberp (zero)) (t))
+  ))
+
+(define (test-term)
+  (apply-subst
+    '((x . (f (plus (plus a b) (plus c (zero)))))
+      (y . (f (times (times a b) (plus c d))))
+      (z . (f (reverse (append (append a b) (nil)))))
+      (u . (equal (plus a b) (difference x y)))
+      (w . (lessp (remainder a b) (member a (length b)))))
+    '(implies (and (implies x y)
+                   (and (implies y z)
+                        (and (implies z u) (implies u w))))
+              (implies x w))))
+
+(define (run n result)
+  (if (zero? n)
+      result
+      (run (- n 1) (tautp (test-term)))))
+(run 3 #f)`

@@ -1,0 +1,111 @@
+package bench
+
+// browse: the Gabriel AI-pattern-matcher benchmark — builds a database
+// of units with property lists and repeatedly matches wildcard patterns
+// against it. Randomness comes from the classic seeded LCG so runs are
+// deterministic; property lists live in a boxed alist as in boyer.
+
+func init() {
+	register(Program{
+		Name:        "browse",
+		Description: "pattern-matching database browse (property lists)",
+		Source:      browseSource,
+		Expect:      "done",
+	})
+}
+
+const browseSource = `
+(define props (box '()))
+(define (put sym key val)
+  (let ([cell (assq sym (unbox props))])
+    (if cell
+        (let ([entry (assq key (cdr cell))])
+          (if entry
+              (set-cdr! entry val)
+              (set-cdr! cell (cons (cons key val) (cdr cell)))))
+        (set-box! props (cons (list sym (cons key val)) (unbox props)))))
+  val)
+(define (get sym key)
+  (let ([cell (assq sym (unbox props))])
+    (if cell
+        (let ([entry (assq key (cdr cell))])
+          (if entry (cdr entry) #f))
+        #f)))
+
+(define rand-seed (box 21))
+(define (random n)
+  (set-box! rand-seed (modulo (+ (* (unbox rand-seed) 17) 3) 251))
+  (modulo (unbox rand-seed) n))
+
+;; unit names sym0..sym99
+(define (make-name i) (string->symbol (string-append "sym" (number->string i))))
+
+(define (init-database n ipats)
+  (let loop ([i 0] [acc '()])
+    (if (= i n)
+        acc
+        (let ([name (make-name i)])
+          (put name 'pattern
+               (list (list-ref ipats (modulo i (length ipats)))
+                     (list-ref ipats (modulo (+ i 1) (length ipats)))
+                     (list-ref ipats (modulo (random 4) (length ipats)))))
+          (loop (+ i 1) (cons name acc))))))
+
+(define (var? s)
+  (and (symbol? s)
+       (char=? (string-ref (symbol->string s) 0) #\?)))
+
+(define (match pat dat alist)
+  (cond
+    [(null? pat) (null? dat)]
+    [(null? dat) #f]
+    [(or (eq? (car pat) '?) (eq? (car pat) (car dat)))
+     (match (cdr pat) (cdr dat) alist)]
+    [(eq? (car pat) '*)
+     (or (match (cdr pat) dat alist)
+         (match (cdr pat) (cdr dat) alist)
+         (match pat (cdr dat) alist))]
+    [(pair? (car pat))
+     (and (pair? (car dat))
+          (match (car pat) (car dat) alist)
+          (match (cdr pat) (cdr dat) alist))]
+    [(var? (car pat))
+     (let ([v (assq (car pat) alist)])
+       (if v
+           (and (equal? (cdr v) (car dat))
+                (match (cdr pat) (cdr dat) alist))
+           (match (cdr pat) (cdr dat)
+                  (cons (cons (car pat) (car dat)) alist))))]
+    [else #f]))
+
+(define (browse-pattern units pats)
+  (for-each
+    (lambda (unit)
+      (for-each
+        (lambda (pat)
+          (for-each
+            (lambda (datum) (match pat datum '()))
+            (get unit 'pattern)))
+        pats))
+    units))
+
+(define ipats
+  '((a b c d e f g)
+    (x (y z) (w u) q)
+    (m n o p q r s t)
+    (k (l (m (n o))) p)
+    (u v w x y z)))
+
+(define query-pats
+  '((?x * e f *)
+    (* (y ?) *)
+    (a ? c ? e ?)
+    (k (l (m (n ?))) ?)
+    (* q)))
+
+(define units (init-database 60 ipats))
+(define (run n)
+  (if (zero? n)
+      'done
+      (begin (browse-pattern units query-pats) (run (- n 1)))))
+(run 30)`

@@ -1,0 +1,87 @@
+package bench
+
+// I/O-flavoured Gabriel benchmarks. The originals print to and parse
+// from files; here fprint/tprint render a large nested structure into
+// the output sink, and fread re-parses the rendered text with a
+// tokenizer written in Scheme (a stand-in for the reader, exercising
+// character and string traffic).
+
+func init() {
+	register(Program{
+		Name:        "fprint",
+		Description: "printing a large nested list to the output sink",
+		Source: ioShared + `
+(define data (build-tree 6))
+(define (run n)
+  (if (zero? n) 'done (begin (display data) (newline) (run (- n 1)))))
+(run 20)`,
+		Expect: "done",
+	})
+
+	register(Program{
+		Name:        "tprint",
+		Description: "printing with explicit element-by-element traversal",
+		Source: ioShared + `
+(define data (build-tree 6))
+(define (print-tree t)
+  (if (pair? t)
+      (begin
+        (write-char #\()
+        (let loop ([t t] [first #t])
+          (cond
+            [(null? t) (write-char #\))]
+            [else
+             (if first #f (write-char #\space))
+             (print-tree (car t))
+             (loop (cdr t) #f)]))
+        'ok)
+      (display t)))
+(define (run n)
+  (if (zero? n) 'done (begin (print-tree data) (newline) (run (- n 1)))))
+(run 20)`,
+		Expect: "done",
+	})
+
+	register(Program{
+		Name:        "fread",
+		Description: "tokenizing a rendered expression with a Scheme-level scanner",
+		Source: ioShared + `
+;; Re-scan the printed representation of the tree: a miniature reader.
+(define input "((abc 12 (de 345 fgh) 6789 (i (j (k 10))))(lmnop 11 12 13)(q r s t u v w x y z))")
+
+(define (scan str)
+  (let ([len (string-length str)])
+    (let loop ([i 0] [tokens 0] [depth 0] [maxdepth 0])
+      (if (>= i len)
+          (list tokens maxdepth)
+          (let ([ch (string-ref str i)])
+            (cond
+              [(char=? ch #\()
+               (loop (+ i 1) (+ tokens 1) (+ depth 1) (max maxdepth (+ depth 1)))]
+              [(char=? ch #\))
+               (loop (+ i 1) (+ tokens 1) (- depth 1) maxdepth)]
+              [(char=? ch #\space) (loop (+ i 1) tokens depth maxdepth)]
+              [(char-numeric? ch)
+               (let eat ([j i] [v 0])
+                 (if (and (< j len) (char-numeric? (string-ref str j)))
+                     (eat (+ j 1) (+ (* v 10) (- (char->integer (string-ref str j))
+                                                 (char->integer #\0))))
+                     (loop j (+ tokens 1) depth maxdepth)))]
+              [else
+               (let eat ([j i])
+                 (if (and (< j len) (char-alphabetic? (string-ref str j)))
+                     (eat (+ j 1))
+                     (loop j (+ tokens 1) depth maxdepth)))]))))))
+(define (run n acc)
+  (if (zero? n) acc (run (- n 1) (scan input))))
+(run 400 '())`,
+		Expect: "(40 5)",
+	})
+}
+
+const ioShared = `
+(define (build-tree d)
+  (if (zero? d)
+      'leaf
+      (list (build-tree (- d 1)) d (build-tree (- d 1)) 'pad)))
+`

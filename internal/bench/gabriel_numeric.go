@@ -1,0 +1,289 @@
+package bench
+
+import "fmt"
+
+// Numeric and array Gabriel benchmarks: fft, puzzle, triang, fxtriang.
+
+func init() {
+	register(Program{
+		Name:        "fft",
+		Description: "fast Fourier transform on 256 flonum points",
+		Source: `
+(define pi 3.141592653589793)
+
+;; In-place radix-2 FFT over vectors re/im of n points stored 1..n
+;; (slot 0 unused, matching the Gabriel original's layout).
+
+(define (log2-of n)
+  (let loop ([m 0] [i 1])
+    (if (< i n) (loop (+ m 1) (* i 2)) m)))
+
+;; interchange elements in bit-reversed order
+(define (bit-reverse! re im n)
+  (let loop ([i 1] [j 1])
+    (if (< i n)
+        (begin
+          (when (< i j)
+            (let ([tr (vector-ref re j)] [ti (vector-ref im j)])
+              (vector-set! re j (vector-ref re i))
+              (vector-set! im j (vector-ref im i))
+              (vector-set! re i tr)
+              (vector-set! im i ti)))
+          (let adjust ([j j] [k (quotient n 2)])
+            (if (< k j)
+                (adjust (- j k) (quotient k 2))
+                (loop (+ i 1) (+ j k)))))
+        'ok)))
+
+(define (butterfly! re im n ii le le1 ur ui)
+  (if (> ii n)
+      'ok
+      (let* ([ip (+ ii le1)]
+             [tr (- (* (vector-ref re ip) ur) (* (vector-ref im ip) ui))]
+             [ti (+ (* (vector-ref re ip) ui) (* (vector-ref im ip) ur))])
+        (vector-set! re ip (- (vector-ref re ii) tr))
+        (vector-set! im ip (- (vector-ref im ii) ti))
+        (vector-set! re ii (+ (vector-ref re ii) tr))
+        (vector-set! im ii (+ (vector-ref im ii) ti))
+        (butterfly! re im n (+ ii le) le le1 ur ui))))
+
+(define (stage! re im n le le1 wr wi jj ur ui)
+  (if (> jj le1)
+      'ok
+      (begin
+        (butterfly! re im n jj le le1 ur ui)
+        (stage! re im n le le1 wr wi (+ jj 1)
+                (- (* ur wr) (* ui wi))
+                (+ (* ur wi) (* ui wr))))))
+
+(define (fft re im)
+  (let* ([n (- (vector-length re) 1)]
+         [m (log2-of n)])
+    (bit-reverse! re im n)
+    (let stages ([l 1] [le 2])
+      (if (> l m)
+          #t
+          (let* ([le1 (quotient le 2)]
+                 [flle1 (exact->inexact le1)]
+                 [wr (cos (/ pi flle1))]
+                 [wi (- 0.0 (sin (/ pi flle1)))])
+            (stage! re im n le le1 wr wi 1 1.0 0.0)
+            (stages (+ l 1) (* le 2)))))))
+
+(define (make-input n)
+  (let ([v (make-vector (+ n 1) 0.0)])
+    (do ([i 1 (+ i 1)]) ((> i n) v)
+      (vector-set! v i (exact->inexact (modulo (* i 7) 19))))))
+
+(define (energy v n)
+  (let loop ([i 1] [acc 0.0])
+    (if (> i n)
+        acc
+        (loop (+ i 1) (+ acc (* (vector-ref v i) (vector-ref v i)))))))
+
+(define (run k)
+  (if (zero? k)
+      'done
+      (let ([re (make-input 256)]
+            [im (make-vector 257 0.0)])
+        (fft re im)
+        ;; Parseval sanity: output energy must be n times input energy.
+        (let ([in-e (energy (make-input 256) 256)]
+              [out-e (+ (energy re 256) (energy im 256))])
+          (if (< (abs (- out-e (* 256.0 in-e))) 1.0)
+              (run (- k 1))
+              (error "fft energy mismatch" out-e))))))
+(run 4)`,
+		Expect: "done",
+	})
+
+	register(Program{
+		Name:        "puzzle",
+		Description: "Forest Baskett's combinatorial bin-packing puzzle",
+		Source:      puzzleSource,
+		Expect:      "#t",
+	})
+
+	register(Program{
+		Name:        "triang",
+		Description: "triangle-board peg solitaire search (solution budget 60)",
+		Source:      triangSource(60),
+		Expect:      "60",
+	})
+
+	register(Program{
+		Name:        "fxtriang",
+		Description: "fixnum-tuned triangle-board search (solution budget 200)",
+		Source:      triangSource(200),
+		Expect:      "200",
+	})
+}
+
+const puzzleSource = `
+(define size 511)
+(define classmax 3)
+(define typemax 12)
+
+(define *iii* (box 0))
+(define *kount* (box 0))
+(define *d* 8)
+
+(define piececount (make-vector (+ classmax 1) 0))
+(define class (make-vector (+ typemax 1) 0))
+(define piecemax (make-vector (+ typemax 1) 0))
+(define puzzle (make-vector (+ size 1) #f))
+(define p (make-vector (+ typemax 1) #f))
+
+(define (fit i j)
+  (let ([end (vector-ref piecemax i)])
+    (let loop ([k 0])
+      (cond
+        [(> k end) #t]
+        [(and (vector-ref (vector-ref p i) k)
+              (vector-ref puzzle (+ j k)))
+         #f]
+        [else (loop (+ k 1))]))))
+
+(define (place i j)
+  (let ([end (vector-ref piecemax i)])
+    (do ([k 0 (+ k 1)]) ((> k end))
+      (if (vector-ref (vector-ref p i) k)
+          (vector-set! puzzle (+ j k) #t)
+          #f))
+    (vector-set! piececount (vector-ref class i)
+                 (- (vector-ref piececount (vector-ref class i)) 1))
+    (let loop ([k j])
+      (cond
+        [(> k size) 0]
+        [(not (vector-ref puzzle k)) k]
+        [else (loop (+ k 1))]))))
+
+(define (puzzle-remove i j)
+  (let ([end (vector-ref piecemax i)])
+    (do ([k 0 (+ k 1)]) ((> k end))
+      (if (vector-ref (vector-ref p i) k)
+          (vector-set! puzzle (+ j k) #f)
+          #f))
+    (vector-set! piececount (vector-ref class i)
+                 (+ (vector-ref piececount (vector-ref class i)) 1))))
+
+(define (trial j)
+  (set-box! *kount* (+ (unbox *kount*) 1))
+  (let loop ([i 0])
+    (cond
+      [(> i typemax) #f]
+      [(zero? (vector-ref piececount (vector-ref class i))) (loop (+ i 1))]
+      [(not (fit i j)) (loop (+ i 1))]
+      [else
+       (let ([k (place i j)])
+         (cond
+           [(or (trial k) (zero? k)) #t]
+           [else (puzzle-remove i j) (loop (+ i 1))]))])))
+
+(define (definepiece iclass ii jj kk)
+  (let ([index (box 0)])
+    (do ([i 0 (+ i 1)]) ((> i ii))
+      (do ([j 0 (+ j 1)]) ((> j jj))
+        (do ([k 0 (+ k 1)]) ((> k kk))
+          (set-box! index (+ i (* *d* (+ j (* *d* k)))))
+          (vector-set! (vector-ref p (unbox *iii*)) (unbox index) #t))))
+    (vector-set! class (unbox *iii*) iclass)
+    (vector-set! piecemax (unbox *iii*) (unbox index))
+    (if (not (= (unbox *iii*) typemax))
+        (set-box! *iii* (+ (unbox *iii*) 1))
+        #f)))
+
+(define (start)
+  (do ([m 0 (+ m 1)]) ((> m size)) (vector-set! puzzle m #t))
+  (do ([i 1 (+ i 1)]) ((> i 5))
+    (do ([j 1 (+ j 1)]) ((> j 5))
+      (do ([k 1 (+ k 1)]) ((> k 5))
+        (vector-set! puzzle (+ i (* *d* (+ j (* *d* k)))) #f))))
+  (do ([i 0 (+ i 1)]) ((> i typemax))
+    (vector-set! p i (make-vector (+ size 1) #f)))
+  (do ([i 0 (+ i 1)]) ((> i classmax)) (vector-set! piececount i 0))
+  (set-box! *iii* 0)
+  (definepiece 0 3 1 0)
+  (definepiece 0 1 0 3)
+  (definepiece 0 0 3 1)
+  (definepiece 0 1 3 0)
+  (definepiece 0 3 0 1)
+  (definepiece 0 0 1 3)
+  (definepiece 1 2 0 0)
+  (definepiece 1 0 2 0)
+  (definepiece 1 0 0 2)
+  (definepiece 2 1 1 0)
+  (definepiece 2 1 0 1)
+  (definepiece 2 0 1 1)
+  (definepiece 3 1 1 1)
+  (vector-set! piececount 0 13)
+  (vector-set! piececount 1 3)
+  (vector-set! piececount 2 1)
+  (vector-set! piececount 3 1)
+  (let ([n (+ 1 (* *d* (+ 1 *d*)))])
+    (cond
+      [(fit 0 n) (let ([k (place 0 n)]) (trial k))]
+      [else #f])))
+(start)`
+
+// triangSource builds the triang peg-solitaire search with a solution
+// budget: the full Gabriel run finds 775 solutions over ~22M trials;
+// the budget caps the work while preserving the search's call behaviour.
+// The jump tables are the original's.
+func triangSource(budget int) string {
+	return `
+(define board (make-vector 16 1))
+(define sequence (make-vector 14 0))
+(define a (list->vector
+  '(1 2 4 3 5 6 1 3 6 2 5 4 11 12 13 7 8 4 4 7 11 8 12 13 6 10 15 9 14 13 13 14 15 9 10 6 6)))
+(define b (list->vector
+  '(2 4 7 5 8 9 3 6 10 5 9 8 12 13 14 8 9 5 2 4 7 5 8 9 3 6 10 5 9 8 12 13 14 8 9 5 5)))
+(define c (list->vector
+  '(4 7 11 8 12 13 6 10 15 9 14 13 13 14 15 9 10 6 1 2 4 3 5 6 1 3 6 2 5 4 11 12 13 7 8 4 4)))
+(define answer (box '()))
+(define found (box 0))
+(define budget ` + itoa(budget) + `)
+
+(define (last-position)
+  (let loop ([i 1])
+    (cond
+      [(> i 15) 0]
+      [(= 1 (vector-ref board i)) i]
+      [else (loop (+ i 1))])))
+
+(define (ttry i depth)
+  (and (< (unbox found) budget)
+       (cond
+         [(= depth 14)
+          (let ([lp (last-position)])
+            (if (not (member lp (unbox answer)))
+                (set-box! answer (cons lp (unbox answer)))
+                #f))
+          (set-box! found (+ (unbox found) 1))
+          #f]
+         [(and (= 1 (vector-ref board (vector-ref a i)))
+               (= 1 (vector-ref board (vector-ref b i)))
+               (= 0 (vector-ref board (vector-ref c i))))
+          (vector-set! board (vector-ref a i) 0)
+          (vector-set! board (vector-ref b i) 0)
+          (vector-set! board (vector-ref c i) 1)
+          (vector-set! sequence depth i)
+          (do ([j 0 (+ j 1)])
+              ((or (> j 36) (>= (unbox found) budget)) #f)
+            (ttry j (+ depth 1)))
+          (vector-set! board (vector-ref a i) 1)
+          (vector-set! board (vector-ref b i) 1)
+          (vector-set! board (vector-ref c i) 0)
+          #f]
+         [else #f])))
+
+(define (gogogo i)
+  (vector-set! board 5 0)
+  (ttry i 1))
+(gogogo 22)
+(unbox found)`
+}
+
+func itoa(n int) string {
+	return fmt.Sprintf("%d", n)
+}

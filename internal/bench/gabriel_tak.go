@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The tak family: the call-intensive kernels the paper leans on (tak is
+// the Table 4/Table 5 benchmark because it "isolates the effect of
+// register save/restore strategies for calls").
+
+func init() {
+	register(Program{
+		Name:        "tak",
+		Description: "Takeuchi function, heavily recursive integer kernel",
+		Source: `
+(define (tak x y z)
+  (if (not (< y x))
+      z
+      (tak (tak (- x 1) y z)
+           (tak (- y 1) z x)
+           (tak (- z 1) x y))))
+(tak 18 12 6)`,
+		Expect: "7",
+	})
+
+	register(Program{
+		Name:        "takl",
+		Description: "tak with unary-list arithmetic (listn)",
+		Source: `
+(define (listn n)
+  (if (zero? n) '() (cons n (listn (- n 1)))))
+(define (shorterp x y)
+  (and (pair? y) (or (null? x) (shorterp (cdr x) (cdr y)))))
+(define (mas x y z)
+  (if (not (shorterp y x))
+      z
+      (mas (mas (cdr x) y z)
+           (mas (cdr y) z x)
+           (mas (cdr z) x y))))
+(length (mas (listn 16) (listn 10) (listn 5)))`,
+		Expect: "6",
+	})
+
+	register(Program{
+		Name:        "cpstak",
+		Description: "tak in continuation-passing style (closure-intensive)",
+		Source: `
+(define (cpstak x y z)
+  (define (tak x y z k)
+    (if (not (< y x))
+        (k z)
+        (tak (- x 1) y z
+             (lambda (v1)
+               (tak (- y 1) z x
+                    (lambda (v2)
+                      (tak (- z 1) x y
+                           (lambda (v3) (tak v1 v2 v3 k)))))))))
+  (tak x y z (lambda (a) a)))
+(cpstak 15 10 5)`,
+		Expect: "10",
+	})
+
+	register(Program{
+		Name:        "ctak",
+		Description: "tak using call/cc for every return (continuation stress)",
+		Source: `
+(define (ctak x y z)
+  (call/cc (lambda (k) (ctak-aux k x y z))))
+(define (ctak-aux k x y z)
+  (if (not (< y x))
+      (k z)
+      (ctak-aux
+        k
+        (call/cc (lambda (k1) (ctak-aux k1 (- x 1) y z)))
+        (call/cc (lambda (k2) (ctak-aux k2 (- y 1) z x)))
+        (call/cc (lambda (k3) (ctak-aux k3 (- z 1) x y))))))
+(ctak 14 10 5)`,
+		Expect: "6",
+	})
+
+	register(Program{
+		Name:        "fxtak",
+		Description: "tak specialized to fixnum comparisons",
+		Source: `
+(define (fxtak x y z)
+  (if (>= y x)
+      z
+      (fxtak (fxtak (- x 1) y z)
+             (fxtak (- y 1) z x)
+             (fxtak (- z 1) x y))))
+(fxtak 19 13 7)`,
+		Expect: "8",
+	})
+
+	register(Program{
+		Name:        "takr",
+		Description: "tak split across many procedures to defeat locality",
+		Source:      takrSource(),
+		Expect:      "7",
+	})
+}
+
+// takrSource builds the classic takr: the Takeuchi recursion distributed
+// over a ring of distinct procedures (the original uses 100; we use 24,
+// which preserves the many-procedure call pattern).
+func takrSource() string {
+	const n = 24
+	var b strings.Builder
+	name := func(i int) string { return fmt.Sprintf("tak%d", i%n) }
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, `
+(define (%s x y z)
+  (if (not (< y x))
+      z
+      (%s (%s (- x 1) y z)
+          (%s (- y 1) z x)
+          (%s (- z 1) x y))))`,
+			name(i), name(4*i+1), name(4*i+2), name(4*i+3), name(4*i+4))
+	}
+	b.WriteString("\n(tak0 18 12 6)")
+	return b.String()
+}

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/codegen"
+	"repro/internal/compiler"
+	"repro/internal/prim"
+	"repro/internal/vm"
+)
+
+// Measurement is one (program, configuration) run.
+type Measurement struct {
+	Program  string
+	Counters *vm.Counters
+	Stats    codegen.Stats
+	Compile  time.Duration
+	Run      time.Duration
+	Result   string
+}
+
+// Measure compiles and runs one benchmark under opts, checking its
+// expected result.
+func Measure(p *Program, opts compiler.Options) (*Measurement, error) {
+	return MeasureWithCost(p, opts, vm.DefaultCostModel())
+}
+
+// MeasureWithCost is Measure under an explicit machine cost model.
+func MeasureWithCost(p *Program, opts compiler.Options, cost vm.CostModel) (*Measurement, error) {
+	start := time.Now()
+	c, err := compiler.Compile(p.Source, opts)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", p.Name, err)
+	}
+	compileTime := time.Since(start)
+
+	m := vm.New(c.Program, io.Discard)
+	m.SetCostModel(cost)
+	start = time.Now()
+	v, err := m.Run()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", p.Name, err)
+	}
+	runTime := time.Since(start)
+	result := prim.WriteString(v)
+	if p.Expect != "" && result != p.Expect {
+		return nil, fmt.Errorf("%s: result %s, want %s", p.Name, result, p.Expect)
+	}
+	return &Measurement{
+		Program:  p.Name,
+		Counters: &m.Counters,
+		Stats:    c.Stats,
+		Compile:  compileTime,
+		Run:      runTime,
+		Result:   result,
+	}, nil
+}
+
+// Configurations used throughout the experiments.
+
+// PaperOptions is the paper's main configuration: lazy saves, eager
+// restores, greedy shuffling, six argument and six user registers.
+func PaperOptions() compiler.Options {
+	return compiler.DefaultOptions()
+}
+
+// BaselineOptions is Table 3's baseline: no argument or user registers.
+func BaselineOptions() compiler.Options {
+	o := compiler.DefaultOptions()
+	o.Config = vm.BaselineConfig()
+	return o
+}
+
+// StrategyOptions returns the paper configuration with a different save
+// strategy.
+func StrategyOptions(s codegen.SaveStrategy) compiler.Options {
+	o := compiler.DefaultOptions()
+	o.Saves = s
+	return o
+}
+
+// CalleeSaveOptions returns the §2.4/Table 5 callee-save configuration.
+func CalleeSaveOptions(s codegen.SaveStrategy) compiler.Options {
+	o := compiler.DefaultOptions()
+	o.Config = vm.Config{ArgRegs: 6, UserRegs: 6, ScratchRegs: 8, CalleeSaveRegs: 6}
+	o.CalleeSave = true
+	o.Saves = s
+	return o
+}
+
+// RegistersOptions returns the paper configuration with c argument and l
+// user registers (the §4 register sweep).
+func RegistersOptions(c, l int, shuffle codegen.ShuffleMethod) compiler.Options {
+	o := compiler.DefaultOptions()
+	o.Config = vm.Config{ArgRegs: c, UserRegs: l, ScratchRegs: 8}
+	o.Shuffle = shuffle
+	return o
+}

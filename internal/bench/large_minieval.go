@@ -1,0 +1,145 @@
+package bench
+
+// minieval: the "Compiler" stand-in (DESIGN.md §5) — a meta-circular
+// evaluator with environments, closures and a small macro layer,
+// evaluating a workload of programs. Like a compiler run, it is
+// dominated by dispatch over term structure, association-list lookups,
+// and deep non-tail recursion.
+
+func init() {
+	register(Program{
+		Name:        "minieval",
+		Description: "meta-circular evaluator evaluating a program workload (Compiler stand-in)",
+		Large:       true,
+		Source:      minievalSource,
+		Expect:      "(3628800 55 1024 8 (1 4 9 16 25))",
+	})
+}
+
+const minievalSource = `
+;; --- environments -------------------------------------------------
+(define (env-empty) '())
+(define (env-extend env names vals)
+  (if (null? names)
+      env
+      (env-extend (cons (cons (car names) (car vals)) env)
+                  (cdr names) (cdr vals))))
+(define (env-lookup env name)
+  (let ([cell (assq name env)])
+    (if cell (cdr cell) (error "unbound" name))))
+
+;; --- closures ------------------------------------------------------
+(define (make-proc params body env) (vector 'proc params body env))
+(define (proc? v) (and (vector? v) (eq? (vector-ref v 0) 'proc)))
+(define (proc-params v) (vector-ref v 1))
+(define (proc-body v) (vector-ref v 2))
+(define (proc-env v) (vector-ref v 3))
+
+(define (make-primop f) (vector 'primop f))
+(define (primop? v) (and (vector? v) (eq? (vector-ref v 0) 'primop)))
+(define (primop-fn v) (vector-ref v 1))
+
+;; --- the evaluator -------------------------------------------------
+(define (meval e env)
+  (cond
+    [(number? e) e]
+    [(boolean? e) e]
+    [(symbol? e) (env-lookup env e)]
+    [(pair? e)
+     (case (car e)
+       [(quote) (cadr e)]
+       [(if) (if (meval (cadr e) env)
+                 (meval (caddr e) env)
+                 (meval (cadddr2 e) env))]
+       [(lambda) (make-proc (cadr e) (caddr e) env)]
+       [(let)
+        (let ([names (map car (cadr e))]
+              [vals (map (lambda (b) (meval (cadr b) env)) (cadr e))])
+          (meval (caddr e) (env-extend env names vals)))]
+       [(letrec)
+        ;; single-binding letrec via a mutable cell
+        (let* ([name (car (car (cadr e)))]
+               [cell (cons name 0)]
+               [env2 (cons cell env)]
+               [val (meval (cadr (car (cadr e))) env2)])
+          (set-cdr! cell val)
+          (meval (caddr e) env2))]
+       [(begin)
+        (let loop ([es (cdr e)])
+          (if (null? (cdr es))
+              (meval (car es) env)
+              (begin (meval (car es) env) (loop (cdr es)))))]
+       [else
+        (mapply (meval (car e) env)
+                (map (lambda (a) (meval a env)) (cdr e)))])]
+    [else (error "bad expression" e)]))
+(define (cadddr2 e) (car (cdddr e)))
+
+(define (mapply f args)
+  (cond
+    [(proc? f)
+     (meval (proc-body f)
+            (env-extend (proc-env f) (proc-params f) args))]
+    [(primop? f) ((primop-fn f) args)]
+    [else (error "not a procedure" f)]))
+
+;; --- the initial environment ---------------------------------------
+(define (arg1 args) (car args))
+(define (arg2 args) (cadr args))
+(define global-env
+  (env-extend (env-empty)
+    '(+ - * quotient < = zero? cons car cdr null? pair? not)
+    (list
+      (make-primop (lambda (a) (+ (arg1 a) (arg2 a))))
+      (make-primop (lambda (a) (- (arg1 a) (arg2 a))))
+      (make-primop (lambda (a) (* (arg1 a) (arg2 a))))
+      (make-primop (lambda (a) (quotient (arg1 a) (arg2 a))))
+      (make-primop (lambda (a) (< (arg1 a) (arg2 a))))
+      (make-primop (lambda (a) (= (arg1 a) (arg2 a))))
+      (make-primop (lambda (a) (zero? (arg1 a))))
+      (make-primop (lambda (a) (cons (arg1 a) (arg2 a))))
+      (make-primop (lambda (a) (car (arg1 a))))
+      (make-primop (lambda (a) (cdr (arg1 a))))
+      (make-primop (lambda (a) (null? (arg1 a))))
+      (make-primop (lambda (a) (pair? (arg1 a))))
+      (make-primop (lambda (a) (not (arg1 a)))))))
+
+;; --- the workload ----------------------------------------------------
+(define prog-fact
+  '(letrec ([fact (lambda (n) (if (zero? n) 1 (* n (fact (- n 1)))))])
+     (fact 10)))
+
+(define prog-fib
+  '(letrec ([fib (lambda (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))])
+     (fib 10)))
+
+(define prog-power
+  '(letrec ([power (lambda (b e) (if (zero? e) 1 (* b (power b (- e 1)))))])
+     (power 2 10)))
+
+(define prog-gcd
+  '(letrec ([gcd (lambda (a b)
+                   (if (zero? b) a (gcd b (- a (* b (quotient a b))))))])
+     (gcd 96 40)))
+
+(define prog-squares
+  '(letrec ([maplist
+             (lambda (f l)
+               (if (null? l) (quote ()) (cons (f (car l)) (maplist f (cdr l)))))])
+     (maplist (lambda (x) (* x x)) (quote (1 2 3 4 5)))))
+
+(define (run-workload n)
+  (if (zero? n)
+      (list (meval prog-fact global-env)
+            (meval prog-fib global-env)
+            (meval prog-power global-env)
+            (meval prog-gcd global-env)
+            (meval prog-squares global-env))
+      (begin
+        (meval prog-fact global-env)
+        (meval prog-fib global-env)
+        (meval prog-power global-env)
+        (meval prog-gcd global-env)
+        (meval prog-squares global-env)
+        (run-workload (- n 1)))))
+(run-workload 15)`

@@ -1,0 +1,122 @@
+package bench
+
+// rewrite: the "DDD" stand-in — a derivation-by-rewriting system that
+// repeatedly transforms a hardware-ish term language (boolean/mux/adder
+// terms) to a normal form through staged rule application, the same
+// fixed-point term-rewriting flavour as the DDD hardware derivation
+// system.
+
+func init() {
+	register(Program{
+		Name:        "rewrite",
+		Description: "staged term rewriting to normal form (DDD stand-in)",
+		Large:       true,
+		Source:      rewriteSource,
+		Expect:      "(68 268)",
+	})
+}
+
+const rewriteSource = `
+;; Terms: (and x y) (or x y) (not x) (xor x y) (mux c a b) 0 1 symbols.
+
+(define (mk op args) (cons op args))
+(define (op-of t) (car t))
+(define (args-of t) (cdr t))
+(define (atom? t) (not (pair? t)))
+
+;; one top-level simplification step; returns #f if no rule applies
+(define (step t)
+  (if (atom? t)
+      #f
+      (let ([op (op-of t)] [as (args-of t)])
+        (case op
+          [(not)
+           (let ([x (car as)])
+             (cond
+               [(eqv? x 0) 1]
+               [(eqv? x 1) 0]
+               [(and (pair? x) (eq? (op-of x) 'not)) (car (args-of x))]
+               [else #f]))]
+          [(and)
+           (let ([x (car as)] [y (cadr as)])
+             (cond
+               [(eqv? x 0) 0]
+               [(eqv? y 0) 0]
+               [(eqv? x 1) y]
+               [(eqv? y 1) x]
+               [(equal? x y) x]
+               [else #f]))]
+          [(or)
+           (let ([x (car as)] [y (cadr as)])
+             (cond
+               [(eqv? x 1) 1]
+               [(eqv? y 1) 1]
+               [(eqv? x 0) y]
+               [(eqv? y 0) x]
+               [(equal? x y) x]
+               [else #f]))]
+          [(xor)
+           (let ([x (car as)] [y (cadr as)])
+             (cond
+               [(eqv? x 0) y]
+               [(eqv? y 0) x]
+               [(equal? x y) 0]
+               [else (mk 'or (list (mk 'and (list x (mk 'not (list y))))
+                                   (mk 'and (list (mk 'not (list x)) y))))]))]
+          [(mux)
+           (let ([c (car as)] [a (cadr as)] [b (caddr as)])
+             (cond
+               [(eqv? c 1) a]
+               [(eqv? c 0) b]
+               [(equal? a b) a]
+               [else (mk 'or (list (mk 'and (list c a))
+                                   (mk 'and (list (mk 'not (list c)) b))))]))]
+          [else #f]))))
+
+;; full rewrite: innermost-first to fixpoint
+(define (rewrite t)
+  (if (atom? t)
+      t
+      (let ([t2 (mk (op-of t) (map rewrite (args-of t)))])
+        (let ([r (step t2)])
+          (if r (rewrite r) t2)))))
+
+(define (term-size t)
+  (if (atom? t)
+      1
+      (+ 1 (fold-left (lambda (acc x) (+ acc (term-size x))) 0 (args-of t)))))
+
+;; a one-bit full adder derived from mux/xor primitives
+(define (full-adder a b cin)
+  (list (mk 'xor (list (mk 'xor (list a b)) cin))                     ; sum
+        (mk 'or (list (mk 'and (list a b))
+                      (mk 'and (list cin (mk 'xor (list a b))))))))   ; carry
+
+;; chain n full adders (ripple carry), then derive its normal form
+(define (ripple n)
+  (let loop ([i 0] [cin 'c0] [terms '()])
+    (if (= i n)
+        terms
+        (let* ([a (string->symbol (string-append "a" (number->string i)))]
+               [b (string->symbol (string-append "b" (number->string i)))]
+               [fa (full-adder a b cin)])
+          (loop (+ i 1) (cadr fa) (cons (car fa) terms))))))
+
+(define (derive n)
+  (let* ([sums (ripple n)]
+         [normal (map rewrite sums)]
+         [before (fold-left (lambda (acc t) (+ acc (term-size t))) 0 sums)]
+         [after (fold-left (lambda (acc t) (+ acc (term-size t))) 0 normal)])
+    (list before after)))
+
+;; sanity: rewriting with concrete bits must compute the right sums
+(define (check)
+  (let ([sum (rewrite (mk 'xor (list (mk 'xor (list 1 0)) 1)))])
+    (if (eqv? sum 0) 'ok (error "adder broken" sum))))
+(check)
+
+(define (run k)
+  (if (= k 1)
+      (derive 4)
+      (begin (derive 4) (run (- k 1)))))
+(run 60)`

@@ -1,0 +1,173 @@
+package bench
+
+// specialize: the "Similix" stand-in — an online partial evaluator for a
+// small first-order functional language. Given a program and the static
+// subset of its inputs it unfolds calls, folds constants, and residualizes
+// dynamic code, then runs the residual program through a tiny evaluator
+// to check it still computes the same function. Self-application-style
+// symbolic processing is the workload Similix contributes in Table 1.
+
+func init() {
+	register(Program{
+		Name:        "specialize",
+		Description: "online partial evaluator + residual check (Similix stand-in)",
+		Large:       true,
+		Source:      specializeSource,
+		Expect:      "(59049 59049 13 13)",
+	})
+}
+
+const specializeSource = `
+;; Object language:
+;;   e ::= n | x | (op e e) | (if e e e) | (call f e ...)
+;; Programs: ((f (params ...) body) ...)
+
+(define (lookup-fn prog f)
+  (let ([d (assq f prog)])
+    (if d d (error "no function" f))))
+(define (fn-params d) (cadr d))
+(define (fn-body d) (caddr d))
+
+(define (const? e) (or (number? e) (boolean? e)))
+
+(define (apply-op op a b)
+  (case op
+    [(+) (+ a b)]
+    [(-) (- a b)]
+    [(*) (* a b)]
+    [(=) (= a b)]
+    [(<) (< a b)]
+    [else (error "bad op" op)]))
+
+;; --- the online specializer ------------------------------------------
+;; env maps variables to either ('static . value) or ('dynamic . expr).
+(define (pe prog e env depth)
+  (cond
+    [(const? e) e]
+    [(symbol? e)
+     (let ([cell (assq e env)])
+       (if cell
+           (if (eq? (car (cdr cell)) 'static)
+               (cdr (cdr cell))
+               (cdr (cdr cell)))
+           (error "unbound" e)))]
+    [(pair? e)
+     (case (car e)
+       [(if)
+        (let ([c (pe prog (cadr e) env depth)])
+          (if (const? c)
+              (if c
+                  (pe prog (caddr e) env depth)
+                  (pe prog (cadddr4 e) env depth))
+              (list 'if c
+                    (pe prog (caddr e) env depth)
+                    (pe prog (cadddr4 e) env depth))))]
+       [(call)
+        (let ([args (map (lambda (a) (pe prog a env depth)) (cddr e))])
+          (if (< depth 50)
+              ;; unfold under the depth bound; static arguments fold,
+              ;; dynamic arguments are inlined into the body
+              (let ([d (lookup-fn prog (cadr e))])
+                (pe prog (fn-body d)
+                    (bind (fn-params d) args '())
+                    (+ depth 1)))
+              ;; depth bound reached: residualize the call
+              (cons 'call (cons (cadr e) args))))]
+       [else ; (op e1 e2)
+        (let ([a (pe prog (cadr e) env depth)]
+              [b (pe prog (caddr e) env depth)])
+          (if (and (const? a) (const? b))
+              (apply-op (car e) a b)
+              (simplify (list (car e) a b))))])]
+    [else (error "bad term" e)]))
+(define (cadddr4 e) (car (cdddr e)))
+
+(define (all-const? l)
+  (or (null? l) (and (const? (car l)) (all-const? (cdr l)))))
+
+(define (bind params args env)
+  (if (null? params)
+      env
+      (bind (cdr params) (cdr args)
+            (cons (cons (car params)
+                        (if (const? (car args))
+                            (cons 'static (car args))
+                            (cons 'dynamic (car args))))
+                  env))))
+
+;; algebraic simplifications on residual operator terms
+(define (simplify e)
+  (let ([op (car e)] [a (cadr e)] [b (caddr e)])
+    (cond
+      [(and (eq? op '+) (eqv? a 0)) b]
+      [(and (eq? op '+) (eqv? b 0)) a]
+      [(and (eq? op '*) (eqv? a 1)) b]
+      [(and (eq? op '*) (eqv? b 1)) a]
+      [(and (eq? op '*) (or (eqv? a 0) (eqv? b 0))) 0]
+      [(and (eq? op '-) (eqv? b 0)) a]
+      [else e])))
+
+;; --- a direct evaluator for checking ----------------------------------
+(define (ev prog e env)
+  (cond
+    [(const? e) e]
+    [(symbol? e) (cdr (assq e env))]
+    [(pair? e)
+     (case (car e)
+       [(if) (if (ev prog (cadr e) env)
+                 (ev prog (caddr e) env)
+                 (ev prog (cadddr4 e) env))]
+       [(call)
+        (let ([d (lookup-fn prog (cadr e))])
+          (ev prog (fn-body d)
+              (let loop ([ps (fn-params d)] [as (cddr e)] [acc '()])
+                (if (null? ps)
+                    acc
+                    (loop (cdr ps) (cdr as)
+                          (cons (cons (car ps) (ev prog (car as) env)) acc))))))]
+       [else (apply-op (car e)
+                       (ev prog (cadr e) env)
+                       (ev prog (caddr e) env))])]
+    [else (error "bad term" e)]))
+
+;; --- the subject program: power and a polynomial ----------------------
+(define prog
+  '((power (b e)
+      (if (= e 0) 1 (* b (call power b (- e 1)))))
+    (poly (x a b c)
+      (+ (* a (* x x)) (+ (* b x) c)))))
+
+;; specialize power to e=10: residual should be a constant-free chain
+(define (spec-power base-expr)
+  (pe prog '(call power b e)
+      (list (cons 'b (cons 'dynamic base-expr))
+            (cons 'e (cons 'static 10)))
+      0))
+
+;; specialize poly to a=1,b=3,c=9 with dynamic x
+(define (spec-poly)
+  (pe prog '(call poly x a b c)
+      (list (cons 'x (cons 'dynamic 'x))
+            (cons 'a (cons 'static 1))
+            (cons 'b (cons 'static 3))
+            (cons 'c (cons 'static 9)))
+      0))
+
+;; wrap a residual expression as a unary function of its free variable
+(define (make-residual-prog name var body)
+  (list (list name (list var) body)))
+
+(define (run k)
+  (if (= k 1)
+      (let* ([rp (spec-power 'b)]
+             [rpoly (spec-poly)]
+             [direct-power (ev prog '(call power b e) '((b . 3) (e . 10)))]
+             [resid-power (ev (make-residual-prog 'rp 'b rp)
+                              '(call rp 3) '())]
+             [direct-poly (ev prog '(call poly x a b c)
+                              '((x . 1) (a . 1) (b . 3) (c . 9)))]
+             [resid-poly (ev (make-residual-prog 'rq 'x rpoly)
+                             '(call rq 1) '())])
+        (list direct-power resid-power direct-poly resid-poly))
+      (begin (spec-power 'b) (spec-poly) (run (- k 1)))))
+(run 150)`

@@ -1,0 +1,160 @@
+package bench
+
+// typecheck: the "SoftScheme" stand-in — a Hindley–Milner-style type
+// inferencer with unification over a small functional language,
+// checking a workload of terms. Like Wright's soft typer it is
+// association-heavy, recursion-heavy and allocation-heavy.
+
+func init() {
+	register(Program{
+		Name:        "typecheck",
+		Description: "unification-based type inference over a term workload (SoftScheme stand-in)",
+		Large:       true,
+		Source:      typecheckSource,
+		Expect:      "(int (-> int int) (-> (list int) int) bool (-> int (list int)))",
+	})
+}
+
+const typecheckSource = `
+;; Types: int | bool | (-> t t) | (list t) | type variables #(tv id box)
+(define tv-counter (box 0))
+(define (fresh-tv)
+  (set-box! tv-counter (+ (unbox tv-counter) 1))
+  (vector 'tv (unbox tv-counter) (box #f)))
+(define (tv? t) (and (vector? t) (eq? (vector-ref t 0) 'tv)))
+(define (tv-ref t) (unbox (vector-ref t 2)))
+(define (tv-set! t v) (set-box! (vector-ref t 2) v))
+
+(define (prune t)
+  (if (and (tv? t) (tv-ref t))
+      (prune (tv-ref t))
+      t))
+
+(define (occurs? v t)
+  (let ([t (prune t)])
+    (cond
+      [(tv? t) (eq? v t)]
+      [(pair? t)
+       (let loop ([l (cdr t)])
+         (cond [(null? l) #f]
+               [(occurs? v (car l)) #t]
+               [else (loop (cdr l))]))]
+      [else #f])))
+
+(define (unify t1 t2)
+  (let ([t1 (prune t1)] [t2 (prune t2)])
+    (cond
+      [(eq? t1 t2) #t]
+      [(tv? t1)
+       (if (occurs? t1 t2) (error "occurs check" t1) (tv-set! t1 t2))]
+      [(tv? t2) (unify t2 t1)]
+      [(and (symbol? t1) (symbol? t2) (eq? t1 t2)) #t]
+      [(and (pair? t1) (pair? t2) (eq? (car t1) (car t2))
+            (= (length t1) (length t2)))
+       (let loop ([a (cdr t1)] [b (cdr t2)])
+         (if (null? a)
+             #t
+             (begin (unify (car a) (car b)) (loop (cdr a) (cdr b)))))]
+      [else (error "type mismatch" (list t1 t2))])))
+
+;; resolve a type to a printable form
+(define (resolve t)
+  (let ([t (prune t)])
+    (cond
+      [(tv? t) (string->symbol (string-append "t" (number->string (vector-ref t 1))))]
+      [(pair? t) (cons (car t) (map resolve (cdr t)))]
+      [else t])))
+
+;; Terms: numbers, booleans (quote #t), symbols, (lambda (x) e),
+;; (e1 e2), (if c a b), (let ([x e]) b), (fix f e), (nil), (cons e e),
+;; (car e), (cdr e), (null? e), arithmetic (+ - * = <)
+(define (infer e env)
+  (cond
+    [(number? e) 'int]
+    [(boolean? e) 'bool]
+    [(symbol? e)
+     (let ([cell (assq e env)])
+       (if cell (cdr cell) (error "unbound variable" e)))]
+    [(pair? e)
+     (case (car e)
+       [(lambda)
+        (let* ([param (car (cadr e))]
+               [tp (fresh-tv)]
+               [tb (infer (caddr e) (cons (cons param tp) env))])
+          (list '-> tp tb))]
+       [(if)
+        (let ([tc (infer (cadr e) env)]
+              [ta (infer (caddr e) env)]
+              [tb (infer (cadddr3 e) env)])
+          (unify tc 'bool)
+          (unify ta tb)
+          ta)]
+       [(let)
+        (let* ([binding (car (cadr e))]
+               [tv (infer (cadr binding) env)])
+          (infer (caddr e) (cons (cons (car binding) tv) env)))]
+       [(fix)
+        ;; (fix f e): f bound in e with f's own type
+        (let* ([f (cadr e)]
+               [tf (fresh-tv)]
+               [te (infer (caddr e) (cons (cons f tf) env))])
+          (unify tf te)
+          tf)]
+       [(nil) (list 'list (fresh-tv))]
+       [(cons)
+        (let ([th (infer (cadr e) env)]
+              [tt (infer (caddr e) env)])
+          (unify tt (list 'list th))
+          tt)]
+       [(car)
+        (let ([tl (infer (cadr e) env)] [tv (fresh-tv)])
+          (unify tl (list 'list tv))
+          tv)]
+       [(cdr)
+        (let ([tl (infer (cadr e) env)] [tv (fresh-tv)])
+          (unify tl (list 'list tv))
+          tl)]
+       [(null?)
+        (let ([tl (infer (cadr e) env)])
+          (unify tl (list 'list (fresh-tv)))
+          'bool)]
+       [(+ - *)
+        (unify (infer (cadr e) env) 'int)
+        (unify (infer (caddr e) env) 'int)
+        'int]
+       [(= <)
+        (unify (infer (cadr e) env) 'int)
+        (unify (infer (caddr e) env) 'int)
+        'bool]
+       [else
+        ;; application
+        (let* ([tf (infer (car e) env)]
+               [ta (infer (cadr e) env)]
+               [tr (fresh-tv)])
+          (unify tf (list '-> ta tr))
+          tr)])]
+    [else (error "bad term" e)]))
+(define (cadddr3 e) (car (cdddr e)))
+
+(define workload
+  '((+ 1 (* 2 3))
+    (lambda (x) (+ x 1))
+    (fix len (lambda (l) (if (null? l) 0 (+ 1 (len (cdr l))))))
+    (let ([double (lambda (x) (+ x x))]) (= (double 21) 42))
+    (fix build (lambda (n) (if (= n 0) (nil) (cons n (build (- n 1))))))))
+
+(define (check-all terms)
+  (map (lambda (t) (infer t '())) terms))
+
+(define (final-results)
+  (let ([results (check-all workload)])
+    ;; The length function's element type is polymorphic; pin it to int
+    ;; so the reported type is ground.
+    (unify (list-ref results 2) (list '-> (list 'list 'int) (fresh-tv)))
+    (map resolve results)))
+
+(define (run k)
+  (if (= k 1)
+      (final-results)
+      (begin (check-all workload) (run (- k 1)))))
+(run 300)`

@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/prim"
+)
+
+// TestProgramsAgainstInterpreter: every benchmark runs in the reference
+// interpreter and produces its expected value.
+func TestProgramsAgainstInterpreter(t *testing.T) {
+	for _, p := range All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			v, err := compiler.Interpret(p.Source, false, io.Discard)
+			if err != nil {
+				t.Fatalf("interpret: %v", err)
+			}
+			if got := prim.WriteString(v); p.Expect != "" && got != p.Expect {
+				t.Errorf("result = %s, want %s", got, p.Expect)
+			}
+		})
+	}
+}
+
+// TestProgramsCompiled: every benchmark compiles and runs under the
+// paper's default configuration with restore validation, matching the
+// interpreter.
+func TestProgramsCompiled(t *testing.T) {
+	for _, p := range All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			v, counters, err := compiler.RunValidated(p.Source, compiler.DefaultOptions(), io.Discard)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if got := prim.WriteString(v); p.Expect != "" && got != p.Expect {
+				t.Errorf("result = %s, want %s", got, p.Expect)
+			}
+			if counters.Activations == 0 {
+				t.Error("no activations recorded")
+			}
+		})
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	if len(All()) < 20 {
+		t.Errorf("expected at least 20 benchmarks, got %d", len(All()))
+	}
+	large := 0
+	for _, p := range All() {
+		if p.Large {
+			large++
+		}
+		if p.Description == "" {
+			t.Errorf("%s: missing description", p.Name)
+		}
+	}
+	if large != 4 {
+		t.Errorf("expected 4 large-program stand-ins, got %d", large)
+	}
+	if _, err := ByName("tak"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("no-such"); err == nil {
+		t.Error("ByName should fail for unknown names")
+	}
+	// Large programs come first (table order).
+	all := All()
+	for i := 0; i < large; i++ {
+		if !all[i].Large {
+			t.Errorf("All()[%d] should be a large program", i)
+		}
+	}
+}

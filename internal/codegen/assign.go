@@ -1,0 +1,118 @@
+package codegen
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// assignLocations places every variable of a procedure: the first c
+// parameters in argument registers, remaining parameters in incoming
+// stack slots, and let-bound locals in user registers while any are
+// free (scope-based reuse), otherwise in frame slots. It returns the
+// number of incoming stack-argument slots and local variable slots.
+func (cg *codegen) assignLocations(p *ir.Proc) (stackParams, varSlots int) {
+	cfg := cg.opts.Config
+	for i, v := range p.Params {
+		if i < cfg.ArgRegs {
+			v.Loc = ir.Loc{Kind: ir.LocReg, Index: cfg.ArgReg(i)}
+		} else {
+			v.Loc = ir.Loc{Kind: ir.LocSlot, Index: i - cfg.ArgRegs}
+		}
+		v.SaveSlot = -1
+		v.CSReg = -1
+	}
+	stackParams = max(0, len(p.Params)-cfg.ArgRegs)
+
+	a := &locAssigner{cg: cg, slotBase: stackParams}
+	for i := 0; i < cfg.UserRegs; i++ {
+		a.freeRegs = append(a.freeRegs, cfg.UserReg(i))
+	}
+	a.assign(p.Body)
+	return stackParams, a.maxSlots
+}
+
+type locAssigner struct {
+	cg       *codegen
+	freeRegs []int // user registers currently free (LIFO)
+	slotBase int
+	// freeSlots are local slots currently free (scope-reused).
+	freeSlots []int
+	nextSlot  int
+	maxSlots  int
+}
+
+func (a *locAssigner) place(v *ir.Var) {
+	v.SaveSlot = -1
+	v.CSReg = -1
+	if n := len(a.freeRegs); n > 0 {
+		reg := a.freeRegs[n-1]
+		a.freeRegs = a.freeRegs[:n-1]
+		v.Loc = ir.Loc{Kind: ir.LocReg, Index: reg}
+		return
+	}
+	var slot int
+	if n := len(a.freeSlots); n > 0 {
+		slot = a.freeSlots[n-1]
+		a.freeSlots = a.freeSlots[:n-1]
+	} else {
+		slot = a.nextSlot
+		a.nextSlot++
+		if a.nextSlot > a.maxSlots {
+			a.maxSlots = a.nextSlot
+		}
+	}
+	v.Loc = ir.Loc{Kind: ir.LocSlot, Index: a.slotBase + slot}
+}
+
+func (a *locAssigner) release(v *ir.Var) {
+	if v.Loc.Kind == ir.LocReg {
+		a.freeRegs = append(a.freeRegs, v.Loc.Index)
+	} else {
+		a.freeSlots = append(a.freeSlots, v.Loc.Index-a.slotBase)
+	}
+}
+
+func (a *locAssigner) assign(e ir.Expr) {
+	switch t := e.(type) {
+	case *ir.Const, *ir.VarRef, *ir.FreeRef, *ir.GlobalRef:
+	case *ir.GlobalSet:
+		a.assign(t.Rhs)
+	case *ir.If:
+		a.assign(t.Test)
+		a.assign(t.Then)
+		a.assign(t.Else)
+	case *ir.Seq:
+		for _, x := range t.Exprs {
+			a.assign(x)
+		}
+	case *ir.Bind:
+		a.assign(t.Rhs)
+		a.place(t.Var)
+		a.assign(t.Body)
+		a.release(t.Var)
+	case *ir.PrimCall:
+		for _, x := range t.Args {
+			a.assign(x)
+		}
+	case *ir.Call:
+		a.assign(t.Fn)
+		for _, x := range t.Args {
+			a.assign(x)
+		}
+	case *ir.MakeClosure:
+		// Free expressions are VarRef/FreeRef; nothing to place.
+	case *ir.Fix:
+		for _, v := range t.Vars {
+			a.place(v)
+		}
+		a.assign(t.Body)
+		for _, v := range t.Vars {
+			a.release(v)
+		}
+	case *ir.Save:
+		a.assign(t.Body)
+	default:
+		panic(fmt.Sprintf("codegen: assignLocations: unknown expression %T", e))
+	}
+}

@@ -1,0 +1,149 @@
+package codegen
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// markCrossing marks every variable that may be live across a non-tail
+// call (conservatively), for the §2.4 callee-save mode: only those are
+// worth shadowing in callee-save registers. The walk is a backward
+// variable-liveness pass; at each call every live variable is marked.
+func markCrossing(p *ir.Proc) {
+	live := map[*ir.Var]bool{}
+	var walk func(e ir.Expr)
+	markLive := func() {
+		for v := range live {
+			v.CrossCall = true
+		}
+	}
+	walk = func(e ir.Expr) {
+		switch t := e.(type) {
+		case *ir.Const, *ir.FreeRef, *ir.GlobalRef:
+		case *ir.VarRef:
+			live[t.Var] = true
+		case *ir.GlobalSet:
+			walk(t.Rhs)
+		case *ir.If:
+			// Backward over a union of both arms (conservative).
+			walk(t.Then)
+			walk(t.Else)
+			walk(t.Test)
+		case *ir.Seq:
+			for i := len(t.Exprs) - 1; i >= 0; i-- {
+				walk(t.Exprs[i])
+			}
+		case *ir.Bind:
+			walk(t.Body)
+			delete(live, t.Var)
+			walk(t.Rhs)
+		case *ir.PrimCall:
+			for i := len(t.Args) - 1; i >= 0; i-- {
+				walk(t.Args[i])
+			}
+		case *ir.Call:
+			if !t.Tail || t.CallCC {
+				markLive()
+			}
+			walk(t.Fn)
+			for i := len(t.Args) - 1; i >= 0; i-- {
+				walk(t.Args[i])
+			}
+			if !t.Tail || t.CallCC {
+				// Variables read by the arguments are live at the call.
+				markLive()
+			}
+		case *ir.MakeClosure:
+			for _, f := range t.Free {
+				walk(f)
+			}
+		case *ir.Fix:
+			walk(t.Body)
+			for _, v := range t.Vars {
+				delete(live, v)
+			}
+			for _, c := range t.Closures {
+				walk(c)
+			}
+		case *ir.Save:
+			walk(t.Body)
+		default:
+			panic(fmt.Sprintf("codegen: markCrossing: unknown expression %T", e))
+		}
+	}
+	walk(p.Body)
+}
+
+// assignCalleeSaveRegs gives every register-homed crossing variable a
+// callee-save shadow register from the pool, with scope-based reuse
+// mirroring assignLocations.
+func (cg *codegen) assignCalleeSaveRegs(p *ir.Proc) {
+	cfg := cg.opts.Config
+	pool := make([]int, 0, cfg.CalleeSaveRegs)
+	for i := cfg.CalleeSaveRegs - 1; i >= 0; i-- {
+		pool = append(pool, cfg.CalleeSaveReg(i))
+	}
+	take := func(v *ir.Var) {
+		v.CSReg = -1
+		if v.Loc.Kind != ir.LocReg || !v.CrossCall {
+			return
+		}
+		if n := len(pool); n > 0 {
+			v.CSReg = pool[n-1]
+			pool = pool[:n-1]
+		}
+	}
+	release := func(v *ir.Var) {
+		if v.CSReg >= 0 {
+			pool = append(pool, v.CSReg)
+		}
+	}
+	for _, v := range p.Params {
+		take(v)
+	}
+	var walk func(e ir.Expr)
+	walk = func(e ir.Expr) {
+		switch t := e.(type) {
+		case *ir.Const, *ir.VarRef, *ir.FreeRef, *ir.GlobalRef:
+		case *ir.GlobalSet:
+			walk(t.Rhs)
+		case *ir.If:
+			walk(t.Test)
+			walk(t.Then)
+			walk(t.Else)
+		case *ir.Seq:
+			for _, x := range t.Exprs {
+				walk(x)
+			}
+		case *ir.Bind:
+			walk(t.Rhs)
+			take(t.Var)
+			walk(t.Body)
+			release(t.Var)
+		case *ir.PrimCall:
+			for _, x := range t.Args {
+				walk(x)
+			}
+		case *ir.Call:
+			walk(t.Fn)
+			for _, x := range t.Args {
+				walk(x)
+			}
+		case *ir.MakeClosure:
+		case *ir.Fix:
+			for _, v := range t.Vars {
+				take(v)
+			}
+			walk(t.Body)
+			for _, v := range t.Vars {
+				release(v)
+			}
+		case *ir.Save:
+			walk(t.Body)
+		default:
+			panic(fmt.Sprintf("codegen: assignCalleeSaveRegs: unknown expression %T", e))
+		}
+	}
+	walk(p.Body)
+}

@@ -1,0 +1,140 @@
+package codegen
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/ir"
+	"repro/internal/prim"
+	"repro/internal/sexp"
+	"repro/internal/vm"
+)
+
+// codegen holds program-wide compilation state.
+type codegen struct {
+	opts   Options
+	prog   *ir.Program
+	code   []vm.Instr
+	consts []prim.Value
+	// constIdx dedups comparable constants.
+	constIdx map[prim.Value]int
+	prims    []*prim.Def
+	primIdx  map[*prim.Def]int
+	unspec   int
+	stats    Stats
+}
+
+// Compile lowers an IR program to VM code under the given options. The
+// IR is annotated in place (variable locations, shuffle plans, save
+// sets), so a fresh IR must be built per compilation.
+func Compile(prog *ir.Program, opts Options) (compiled *vm.Program, stats Stats, err error) {
+	if verr := opts.Config.Validate(); verr != nil {
+		return nil, Stats{}, verr
+	}
+	cg := &codegen{
+		opts:     opts,
+		prog:     prog,
+		constIdx: map[prim.Value]int{},
+		primIdx:  map[*prim.Def]int{},
+		unspec:   -1,
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if os.Getenv("CODEGEN_DEBUG") != "" {
+				panic(r)
+			}
+			err = fmt.Errorf("codegen: internal error: %v", r)
+		}
+	}()
+
+	cg.emit(vm.Instr{Op: vm.OpHalt}) // code[0]: where main returns
+
+	procs := make([]vm.ProcInfo, len(prog.Procs))
+	for i, p := range prog.Procs {
+		entry := cg.emitProc(p)
+		procs[i] = vm.ProcInfo{
+			Name:           p.Name,
+			Entry:          entry,
+			NArgs:          len(p.Params),
+			NFree:          p.NFree,
+			SyntacticLeaf:  p.SyntacticLeaf,
+			CallInevitable: p.CallInevitable,
+		}
+		cg.stats.Procs++
+		if p.SyntacticLeaf {
+			cg.stats.SyntacticLeaves++
+		}
+		if p.CallInevitable {
+			cg.stats.CallInevitable++
+		}
+	}
+	cg.stats.Instructions = len(cg.code)
+
+	constMutable := make([]bool, len(cg.consts))
+	for i, c := range cg.consts {
+		constMutable[i] = isMutableConst(c)
+	}
+
+	out := &vm.Program{
+		Code:         cg.code,
+		Consts:       cg.consts,
+		ConstMutable: constMutable,
+		Prims:        cg.prims,
+		Procs:        procs,
+		MainIndex:    prog.MainIndex,
+		GlobalNames:  prog.GlobalNames,
+		PrimGlobals:  prog.PrimGlobals,
+		Config:       opts.Config,
+	}
+	return out, cg.stats, nil
+}
+
+func (cg *codegen) emit(in vm.Instr) { cg.code = append(cg.code, in) }
+
+func (cg *codegen) constIndex(v prim.Value) int {
+	if comparableConst(v) {
+		if i, ok := cg.constIdx[v]; ok {
+			return i
+		}
+	}
+	i := len(cg.consts)
+	cg.consts = append(cg.consts, v)
+	if comparableConst(v) {
+		cg.constIdx[v] = i
+	}
+	return i
+}
+
+func (cg *codegen) unspecIndex() int {
+	if cg.unspec < 0 {
+		cg.unspec = cg.constIndex(prim.Unspecified)
+	}
+	return cg.unspec
+}
+
+func (cg *codegen) primIndex(d *prim.Def) int {
+	if i, ok := cg.primIdx[d]; ok {
+		return i
+	}
+	i := len(cg.prims)
+	cg.prims = append(cg.prims, d)
+	cg.primIdx[d] = i
+	return i
+}
+
+func comparableConst(v prim.Value) bool {
+	switch v.(type) {
+	case sexp.Fixnum, sexp.Flonum, sexp.Boolean, sexp.Char, sexp.Symbol, sexp.Str, sexp.Empty:
+		return true
+	}
+	return false
+}
+
+func isMutableConst(v prim.Value) bool {
+	switch t := v.(type) {
+	case *sexp.Pair, *sexp.Vector:
+		_ = t
+		return true
+	}
+	return false
+}

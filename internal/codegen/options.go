@@ -1,0 +1,164 @@
+// Package codegen is the register allocator and code generator: the
+// two-pass algorithm of §3 driving the core save/restore/shuffle
+// machinery over the IR and emitting VM instructions.
+//
+// Pass 1 (analyze.go) walks each procedure bottom-up computing liveness,
+// the S_t/S_f save sets, the "possibly referenced before the next call"
+// restore sets, and a shuffle plan per call site; it records save
+// placements as annotations on the IR. Pass 2 (emit.go) walks forward
+// emitting code, eliminating saves already performed by an enclosing
+// save region and inserting restores immediately after calls.
+package codegen
+
+import (
+	"fmt"
+
+	"repro/internal/vm"
+)
+
+// SaveStrategy selects the register save placement of §4's comparison.
+type SaveStrategy int
+
+const (
+	// SaveLazy is the paper's strategy: save as soon as a call is
+	// inevitable (revised S_t/S_f algorithm).
+	SaveLazy SaveStrategy = iota
+	// SaveEarly saves at the definition point (procedure entry for
+	// parameters) every register that is live across any call anywhere
+	// in the procedure — the natural callee-save-style extreme.
+	SaveEarly
+	// SaveLate saves the live registers immediately before each call —
+	// the natural caller-save extreme, with redundant saves on paths
+	// with multiple calls.
+	SaveLate
+	// SaveSimple places saves with the simple one-set algorithm of
+	// §2.1.1 (S[E] instead of S_t/S_f). It is sound — every call's
+	// requirement is still covered at its own branch — but "too lazy"
+	// around short-circuit boolean tests, pushing saves into branches
+	// where they execute repeatedly (the §2.1.2 deficiency).
+	SaveSimple
+)
+
+func (s SaveStrategy) String() string {
+	switch s {
+	case SaveLazy:
+		return "lazy"
+	case SaveEarly:
+		return "early"
+	case SaveLate:
+		return "late"
+	case SaveSimple:
+		return "simple"
+	default:
+		return fmt.Sprintf("SaveStrategy(%d)", int(s))
+	}
+}
+
+// RestorePolicy selects §2.2's restore placement.
+type RestorePolicy int
+
+const (
+	// RestoreEager restores immediately after each call every register
+	// possibly referenced before the next call (the paper's choice).
+	RestoreEager RestorePolicy = iota
+	// RestoreLazy restores a register at its first use after a call
+	// (the maximally lazy baseline).
+	RestoreLazy
+)
+
+func (r RestorePolicy) String() string {
+	if r == RestoreLazy {
+		return "lazy"
+	}
+	return "eager"
+}
+
+// ShuffleMethod selects the argument-shuffling algorithm of §2.3.
+type ShuffleMethod int
+
+const (
+	// ShuffleGreedy is the paper's greedy algorithm.
+	ShuffleGreedy ShuffleMethod = iota
+	// ShuffleOptimal exhaustively minimizes temporaries.
+	ShuffleOptimal
+	// ShuffleNaive evaluates arguments left to right (the pre-greedy
+	// compiler of §4, whose performance "decreased after two argument
+	// registers").
+	ShuffleNaive
+)
+
+func (s ShuffleMethod) String() string {
+	switch s {
+	case ShuffleOptimal:
+		return "optimal"
+	case ShuffleNaive:
+		return "naive"
+	default:
+		return "greedy"
+	}
+}
+
+// Options configures a compilation.
+type Options struct {
+	Config   vm.Config
+	Saves    SaveStrategy
+	Restores RestorePolicy
+	Shuffle  ShuffleMethod
+	// PredictBranches enables the §6 static branch prediction extension:
+	// paths without calls are predicted taken.
+	PredictBranches bool
+	// ComputeShuffleStats additionally runs the exhaustive-optimal
+	// shuffler at every call site to measure the greedy heuristic's
+	// optimality (§3.1); it does not affect generated code.
+	ComputeShuffleStats bool
+	// CalleeSave enables the §2.4 callee-save discipline: variables live
+	// across calls are shadowed in callee-save registers
+	// (Config.CalleeSaveRegs must be positive); the save of the
+	// register's previous contents and the move into it are placed by
+	// the selected save strategy, and the previous contents are restored
+	// at procedure exits.
+	CalleeSave bool
+}
+
+// DefaultOptions is the paper's configuration: lazy saves, eager
+// restores, greedy shuffling, six argument and six user registers.
+func DefaultOptions() Options {
+	return Options{Config: vm.DefaultConfig()}
+}
+
+// Stats reports static compilation measurements (§3.1, §4).
+type Stats struct {
+	// CallSites is the number of non-tail plus tail call sites with at
+	// least one register argument to shuffle.
+	CallSites int
+	// CyclicCallSites counts call sites whose simple-argument dependency
+	// graph had a cycle (§3.1 reports 7%).
+	CyclicCallSites int
+	// ShuffleTemps is the total number of simple-argument temporaries
+	// the selected shuffler introduced.
+	ShuffleTemps int
+	// OptimalTemps is the exhaustive minimum (only filled when
+	// ComputeShuffleStats is set).
+	OptimalTemps int
+	// SitesOptimal / SitesSuboptimal break down greedy-vs-optimal per
+	// call site (only with ComputeShuffleStats).
+	SitesOptimal    int
+	SitesSuboptimal int
+	// ExtraTempsWorst is the largest per-site excess over optimal.
+	ExtraTempsWorst int
+	// SaveSites / RestoreSites count emitted save and restore
+	// instructions (static).
+	SaveSites    int
+	RestoreSites int
+	// DefensiveRestores counts restores the emitter inserted at a use
+	// even though the eager policy should have covered it; nonzero
+	// values indicate an analysis imprecision (tests assert zero).
+	DefensiveRestores int
+	// Procs is the number of procedures compiled; SyntacticLeaves and
+	// CallInevitable count their static classification.
+	Procs           int
+	SyntacticLeaves int
+	CallInevitable  int
+	// Instructions is the total code length.
+	Instructions int
+}

@@ -1,0 +1,60 @@
+package compiler
+
+import (
+	"testing"
+
+	"repro/internal/prim"
+	"repro/internal/vm"
+)
+
+// These cases exercise the 0-register (all-stack) configuration on the
+// construct shapes that once broke it: stack-passed arguments combined
+// with complex operators, tail calls whose outgoing slots overlap the
+// incoming parameter area, and slot-homed variable traffic.
+
+func TestBaselineConfigConstructs(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"two-arg", "(define (f a b) (cons a b)) (f 1 2)", "(1 . 2)"},
+		{"case", "(define (f x) (case x [(a) 1] [(b) 2] [else 3])) (list (f 'a) (f 'b) (f 'c))", "(1 2 3)"},
+		{"assq-chain", `
+(define (lookup env n) (let ([c (assq n env)]) (if c (cdr c) (error "unbound"))))
+(lookup '((x . 1) (y . 2)) 'y)`, "2"},
+		{"vec-dispatch", `
+(define (mk f) (vector 'proc f))
+(define (fn v) (vector-ref v 1))
+(define (app p a) ((fn p) a))
+(app (mk (lambda (x) (* x 10))) 4)`, "40"},
+		{"letstar-deep", `
+(define (f e env)
+  (let* ([a (car e)] [b (cdr e)] [c (cons a env)] [d (cons b c)])
+    d))
+(f '(1 . 2) '(9))`, "(2 1 9)"},
+		{"extend", `
+(define (ext env ns vs)
+  (if (null? ns) env (ext (cons (cons (car ns) (car vs)) env) (cdr ns) (cdr vs))))
+(ext '() '(a b c) '(1 2 3))`, "((c . 3) (b . 2) (a . 1))"},
+		{"map-lambda-env", `
+(define (evl e env) (+ e (car env)))
+(define (f es env) (map (lambda (a) (evl a env)) es))
+(f '(1 2 3) '(10))`, "(11 12 13)"},
+	}
+	opts := DefaultOptions()
+	opts.Config = vm.BaselineConfig()
+	for _, c := range cases {
+		iv, err := Interpret(c.src, false, nil)
+		if err != nil {
+			t.Fatalf("%s interp: %v", c.name, err)
+		}
+		if got := prim.WriteString(iv); got != c.want {
+			t.Fatalf("%s: bad want: interp says %s", c.name, got)
+		}
+		v, _, err := RunValidated(c.src, opts, nil)
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if got := prim.WriteString(v); got != c.want {
+			t.Errorf("%s: got %s want %s", c.name, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package compiler
+
+import (
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/prim"
+	"repro/internal/vm"
+)
+
+// TestCalleeSaveMode: the §2.4 callee-save discipline must preserve
+// program semantics under both early and lazy placement, with restore
+// validation on.
+func TestCalleeSaveMode(t *testing.T) {
+	for _, saves := range []codegen.SaveStrategy{codegen.SaveLazy, codegen.SaveEarly} {
+		for _, restores := range []codegen.RestorePolicy{codegen.RestoreEager, codegen.RestoreLazy} {
+			opts := DefaultOptions()
+			opts.Config = vm.Config{ArgRegs: 6, UserRegs: 6, ScratchRegs: 8, CalleeSaveRegs: 6}
+			opts.CalleeSave = true
+			opts.Saves = saves
+			opts.Restores = restores
+			name := saves.String() + "/" + restores.String()
+			t.Run(name, func(t *testing.T) {
+				for _, p := range testPrograms {
+					v, _, err := RunValidated(p.src, opts, nil)
+					if err != nil {
+						t.Errorf("%s: %v", p.name, err)
+						continue
+					}
+					if got := prim.WriteString(v); got != p.want {
+						t.Errorf("%s: compiled = %s, want %s", p.name, got, p.want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCalleeSaveLazyBeatsEarlyOnTak: the Table 5 phenomenon — lazy
+// placement of callee-save saves skips effective-leaf activations, so
+// tak executes fewer stack references than with entry-point saves.
+func TestCalleeSaveLazyBeatsEarlyOnTak(t *testing.T) {
+	src := `
+(define (tak x y z)
+  (if (not (< y x)) z
+      (tak (tak (- x 1) y z) (tak (- y 1) z x) (tak (- z 1) x y))))
+(tak 14 7 0)`
+	run := func(saves codegen.SaveStrategy) int64 {
+		opts := DefaultOptions()
+		opts.Config = vm.Config{ArgRegs: 6, UserRegs: 6, ScratchRegs: 8, CalleeSaveRegs: 6}
+		opts.CalleeSave = true
+		opts.Saves = saves
+		_, counters, err := RunValidated(src, opts, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return counters.StackRefs()
+	}
+	early := run(codegen.SaveEarly)
+	lazy := run(codegen.SaveLazy)
+	if lazy >= early {
+		t.Errorf("callee-save lazy (%d refs) should beat early (%d refs)", lazy, early)
+	}
+}

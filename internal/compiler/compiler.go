@@ -1,0 +1,104 @@
+// Package compiler is the end-to-end pipeline: source text → reader →
+// macro expansion → assignment conversion → closure conversion →
+// register allocation → VM code. It is the internal engine behind the
+// public lsr package.
+package compiler
+
+import (
+	"io"
+
+	"repro/internal/ast"
+	"repro/internal/codegen"
+	"repro/internal/interp"
+	"repro/internal/passes"
+	"repro/internal/prelude"
+	"repro/internal/prim"
+	"repro/internal/vm"
+)
+
+// Options configures a compilation; it extends the code generator's
+// options with front-end choices.
+type Options struct {
+	codegen.Options
+	// NoPrelude omits the Scheme run-time library (used by tiny tests).
+	NoPrelude bool
+}
+
+// DefaultOptions is the paper's configuration.
+func DefaultOptions() Options {
+	return Options{Options: codegen.DefaultOptions()}
+}
+
+// Compiled bundles the results of a compilation.
+type Compiled struct {
+	Program *vm.Program
+	IR      *irProgramAlias
+	Stats   codegen.Stats
+}
+
+// irProgramAlias avoids exporting internal/ir in the public surface
+// while letting internal callers reach the IR for dumps.
+type irProgramAlias = irProgram
+
+// Compile compiles source text.
+func Compile(src string, opts Options) (*Compiled, error) {
+	full := src
+	if !opts.NoPrelude {
+		full = prelude.Source + "\n" + src
+	}
+	prog, err := ast.ParseString(full)
+	if err != nil {
+		return nil, err
+	}
+	converted := passes.AssignConvert(prog)
+	irProg, err := passes.ClosureConvert(converted)
+	if err != nil {
+		return nil, err
+	}
+	code, stats, err := codegen.Compile(irProg, opts.Options)
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{Program: code, IR: irProg, Stats: stats}, nil
+}
+
+// Run compiles and executes source, returning the result value and the
+// machine counters. out receives program output (nil discards).
+func Run(src string, opts Options, out io.Writer) (prim.Value, *vm.Counters, error) {
+	c, err := Compile(src, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := vm.New(c.Program, out)
+	v, err := m.Run()
+	return v, &m.Counters, err
+}
+
+// RunValidated is Run with the restore-validation machine mode on
+// (poisoned registers at call boundaries).
+func RunValidated(src string, opts Options, out io.Writer) (prim.Value, *vm.Counters, error) {
+	c, err := Compile(src, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := vm.New(c.Program, out)
+	m.ValidateRestores = true
+	v, err := m.Run()
+	return v, &m.Counters, err
+}
+
+// Interpret evaluates source with the reference interpreter (the
+// differential-testing oracle).
+func Interpret(src string, noPrelude bool, out io.Writer) (prim.Value, error) {
+	full := src
+	if !noPrelude {
+		full = prelude.Source + "\n" + src
+	}
+	prog, err := ast.ParseString(full)
+	if err != nil {
+		return nil, err
+	}
+	in := interp.New(out)
+	in.MaxSteps = 500_000_000
+	return in.RunProgram(prog)
+}

@@ -1,0 +1,6 @@
+package compiler
+
+import "repro/internal/ir"
+
+// irProgram re-exports the IR program type for internal dump tooling.
+type irProgram = ir.Program

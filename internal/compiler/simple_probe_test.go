@@ -1,0 +1,48 @@
+package compiler
+
+import (
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/prim"
+	"repro/internal/vm"
+)
+
+// TestSimpleVsRevisedDiffer exercises the §2.1.2 deficiency pattern: a
+// call nested inside an if-test via short-circuit `and`, with a non-tail
+// call in the else arm (tail calls are jumps and need no saves, so the
+// deficiency requires a real call there). The simple algorithm's save
+// sinks into both the test and the else arm, so the path that takes the
+// inner call *and* the else call saves twice; the revised algorithm
+// hoists one save to the procedure entry.
+func TestSimpleVsRevisedDiffer(t *testing.T) {
+	src := `
+(define (f y) (> y 500))
+(define (g y) y)
+(define (h x y)
+  (if (and x (f y)) (+ y 1) (+ 1 (g (+ y 2)))))
+(define (drive i acc)
+  (if (zero? i) acc (drive (- i 1) (+ acc (h (even? i) i)))))
+(drive 1000 0)`
+	want, err := Interpret(src, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saves := map[codegen.SaveStrategy]int64{}
+	for _, s := range []codegen.SaveStrategy{codegen.SaveLazy, codegen.SaveSimple} {
+		opts := DefaultOptions()
+		opts.Saves = s
+		v, counters, err := RunValidated(src, opts, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if prim.WriteString(v) != prim.WriteString(want) {
+			t.Fatalf("%v: result = %s, want %s", s, prim.WriteString(v), prim.WriteString(want))
+		}
+		saves[s] = counters.WritesByKind[vm.KindSave]
+	}
+	if saves[codegen.SaveSimple] <= saves[codegen.SaveLazy] {
+		t.Errorf("the simple algorithm should execute more saves on this pattern (revised %d, simple %d)",
+			saves[codegen.SaveLazy], saves[codegen.SaveSimple])
+	}
+}

@@ -1,0 +1,41 @@
+package core
+
+import "repro/internal/regset"
+
+// This file holds the eager-restore analysis of §2.2/§3.2: a backward
+// "possibly referenced before the next call" computation. The compiler's
+// second pass folds these combinators over the IR; restores for the
+// possibly-referenced registers are inserted immediately after calls.
+//
+// The analysis is a *may* analysis — branches join with union — which is
+// what makes the restores eager: a register referenced on either arm of
+// an if is restored right after the preceding call, possibly needlessly
+// on the arm that does not touch it (Figure 2a/2b). The paper found the
+// memory-latency benefit of early restores offsets those unnecessary
+// loads.
+
+// RefUse extends the possibly-referenced set with a register use.
+func RefUse(r int, after regset.Set) regset.Set { return after.Add(r) }
+
+// RefDef removes a register from the possibly-referenced set at the
+// point where it is (re)defined: references after a fresh definition do
+// not require restoring the old value.
+func RefDef(r int, after regset.Set) regset.Set { return after.Remove(r) }
+
+// RefCallBoundary is the possibly-referenced set seen *before* a call:
+// empty, because the call's own restores re-establish anything
+// referenced after it, and argument-register reads made by the call's
+// own setup are accounted for explicitly by the caller of this function.
+func RefCallBoundary() regset.Set { return regset.Empty }
+
+// RefBranch joins the two arms of a conditional (union: may analysis).
+func RefBranch(thenRefs, elseRefs regset.Set) regset.Set {
+	return thenRefs.Union(elseRefs)
+}
+
+// RestoreSet is the set restored immediately after a call: the registers
+// possibly referenced before the next call, limited to the registers the
+// enclosing save regions have actually saved.
+func RestoreSet(refsAfter, saved regset.Set) regset.Set {
+	return refsAfter.Intersect(saved)
+}

@@ -1,0 +1,313 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/regset"
+)
+
+// nRegs is the register universe size used by the tests.
+const nRegs = 8
+
+var testR = regset.Universe(nRegs)
+
+// genExpr builds a random simplified-language expression of bounded
+// depth, for property testing the placement algorithms against the
+// path-enumeration ground truth.
+func genExpr(r *rand.Rand, depth int) Expr {
+	if depth <= 0 {
+		switch r.Intn(4) {
+		case 0:
+			return Var{Reg: r.Intn(nRegs)}
+		case 1:
+			return True{}
+		case 2:
+			return False{}
+		default:
+			return Call{LiveAfter: regset.Set(r.Uint64()) & regset.Set(testR)}
+		}
+	}
+	switch r.Intn(6) {
+	case 0:
+		return Var{Reg: r.Intn(nRegs)}
+	case 1:
+		return True{}
+	case 2:
+		return False{}
+	case 3:
+		return Call{LiveAfter: regset.Set(r.Uint64()) & regset.Set(testR)}
+	case 4:
+		return Seq{E1: genExpr(r, depth-1), E2: genExpr(r, depth-1)}
+	default:
+		return If{Test: genExpr(r, depth-1), Then: genExpr(r, depth-1), Else: genExpr(r, depth-1)}
+	}
+}
+
+// randomExpr wraps Expr for testing/quick generation.
+type randomExpr struct{ E Expr }
+
+func (randomExpr) Generate(r *rand.Rand, size int) interface{} {
+	panic("unused")
+}
+
+func TestPaperExample(t *testing.T) {
+	// §2.1.2–2.1.3: A = (if (if x call false) y call).
+	// Let L be the live set after both calls; the paper's walkthrough
+	// uses S[call inner] = {y} ∪ L and S[call outer] = L.
+	y := 3
+	L := regset.Of(1, 2)
+	inner := If{
+		Test: Var{Reg: 0},
+		Then: Call{LiveAfter: L.Add(y)},
+		Else: False{},
+	}
+	a := If{Test: inner, Then: Var{Reg: y}, Else: Call{LiveAfter: L}}
+
+	// The simple algorithm is too lazy: S[A] = ∅.
+	if s := Simple(a); !s.IsEmpty() {
+		t.Errorf("simple S[A] = %s, want empty", s)
+	}
+
+	// The revised algorithm saves all of L around A.
+	sets := Revised(a, testR)
+	if sets.T != L {
+		t.Errorf("S_t[A] = %s, want %s", sets.T, L)
+	}
+	if sets.F != L {
+		t.Errorf("S_f[A] = %s, want %s", sets.F, L)
+	}
+	if sets.Save() != L {
+		t.Errorf("save set = %s, want %s", sets.Save(), L)
+	}
+
+	// The inner if saves nothing itself (S_t[B] ∩ S_f[B] = ∅).
+	b := Revised(inner, testR)
+	if want := L.Add(y); b.T != want {
+		t.Errorf("S_t[B] = %s, want %s", b.T, want)
+	}
+	if !b.F.IsEmpty() {
+		t.Errorf("S_f[B] = %s, want empty", b.F)
+	}
+	if !b.Save().IsEmpty() {
+		t.Errorf("inner save set = %s, want empty", b.Save())
+	}
+}
+
+// TestRevisedMatchesPathEnumeration verifies the recursive S_t/S_f
+// equations against brute-force enumeration of feasible control paths —
+// the semantic definition in §2.1.3.
+func TestRevisedMatchesPathEnumeration(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 3000; i++ {
+		e := genExpr(r, 4)
+		got := Revised(e, testR)
+		want := PathSets(e, testR)
+		if got != want {
+			t.Fatalf("expr %s:\n got %s\nwant %s", e, FormatSets(got), FormatSets(want))
+		}
+	}
+}
+
+// TestNeverTooEager: if there is a feasible path through E without
+// calls, then S_t[E] ∩ S_f[E] = ∅.
+func TestNeverTooEager(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 3000; i++ {
+		e := genExpr(r, 4)
+		if HasCallFreePath(e) {
+			if s := Revised(e, testR).Save(); !s.IsEmpty() {
+				t.Fatalf("expr %s has a call-free path but save set %s", e, s)
+			}
+		}
+	}
+}
+
+// TestSimpleSubsetOfRevised: S[E] ⊆ S_t[E] ∩ S_f[E] — the revised
+// algorithm is not as lazy as the simple algorithm.
+func TestSimpleSubsetOfRevised(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 3000; i++ {
+		e := genExpr(r, 4)
+		simple := Simple(e)
+		revised := Revised(e, testR).Save()
+		if !simple.SubsetOf(revised) {
+			t.Fatalf("expr %s: S[E]=%s not ⊆ revised %s", e, simple, revised)
+		}
+	}
+}
+
+// TestSoundness: every register in the save set is genuinely needed on
+// all feasible paths — it appears in the live-after set of some call on
+// each path. (Follows from PathSets equality, but checked directly.)
+func TestSoundnessAgainstPaths(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 2000; i++ {
+		e := genExpr(r, 4)
+		save := Revised(e, testR).Save()
+		for _, p := range paths(e) {
+			if !save.SubsetOf(p.saves) {
+				t.Fatalf("expr %s: save %s not ⊆ path saves %s", e, save, p.saves)
+			}
+		}
+	}
+}
+
+// TestCallInevitableViaRet reproduces the §2.4 technique: add a
+// caller-save return register ret that is live after every call; then
+// ret ∈ S_t[E] ∩ S_f[E] iff E inevitably calls.
+func TestCallInevitableViaRet(t *testing.T) {
+	const ret = nRegs // one past the ordinary registers
+	universe := testR.Add(ret)
+	var addRet func(e Expr) Expr
+	addRet = func(e Expr) Expr {
+		switch t := e.(type) {
+		case Call:
+			return Call{LiveAfter: t.LiveAfter.Add(ret)}
+		case Seq:
+			return Seq{E1: addRet(t.E1), E2: addRet(t.E2)}
+		case If:
+			return If{Test: addRet(t.Test), Then: addRet(t.Then), Else: addRet(t.Else)}
+		default:
+			return e
+		}
+	}
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 3000; i++ {
+		e := genExpr(r, 4)
+		withRet := addRet(e)
+		save := Revised(withRet, universe).Save()
+		if save.Has(ret) != CallInevitable(e) {
+			t.Fatalf("expr %s: ret∈save=%v but CallInevitable=%v",
+				e, save.Has(ret), CallInevitable(e))
+		}
+	}
+}
+
+// TestFigure1Not verifies S_t[(not E)] = S_f[E] and S_f[(not E)] = S_t[E]
+// against the if-expansion (not E) = (if E false true).
+func TestFigure1Not(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for i := 0; i < 2000; i++ {
+		e := genExpr(r, 3)
+		se := Revised(e, testR)
+		derived := NotSets(se)
+		expanded := Revised(If{Test: e, Then: False{}, Else: True{}}, testR)
+		if derived != expanded {
+			t.Fatalf("not %s: derived %s != expanded %s",
+				e, FormatSets(derived), FormatSets(expanded))
+		}
+	}
+}
+
+// TestFigure1And verifies the derived and-equations against the
+// expansion (and E1 E2) = (if E1 E2 false).
+func TestFigure1And(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		e1 := genExpr(r, 3)
+		e2 := genExpr(r, 3)
+		derived := AndSets(Revised(e1, testR), Revised(e2, testR))
+		expanded := Revised(If{Test: e1, Then: e2, Else: False{}}, testR)
+		if derived != expanded {
+			t.Fatalf("and %s %s: derived %s != expanded %s",
+				e1, e2, FormatSets(derived), FormatSets(expanded))
+		}
+	}
+}
+
+// TestFigure1Or verifies the derived or-equations against the expansion
+// (or E1 E2) = (if E1 true E2).
+func TestFigure1Or(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for i := 0; i < 2000; i++ {
+		e1 := genExpr(r, 3)
+		e2 := genExpr(r, 3)
+		derived := OrSets(Revised(e1, testR), Revised(e2, testR))
+		expanded := Revised(If{Test: e1, Then: True{}, Else: e2}, testR)
+		if derived != expanded {
+			t.Fatalf("or %s %s: derived %s != expanded %s",
+				e1, e2, FormatSets(derived), FormatSets(expanded))
+		}
+	}
+}
+
+// TestShortCircuitDeficiency reproduces §2.1.2: the simple algorithm
+// computes S = ∅ for (if (and x call) y call) even though a call is
+// inevitable, while the revised algorithm saves the live registers.
+func TestShortCircuitDeficiency(t *testing.T) {
+	live := regset.Of(1, 2, 3)
+	e := If{
+		Test: If{Test: Var{Reg: 0}, Then: Call{LiveAfter: live}, Else: False{}},
+		Then: Var{Reg: 1},
+		Else: Call{LiveAfter: live},
+	}
+	if !CallInevitable(e) {
+		t.Fatal("a call should be inevitable through this expression")
+	}
+	if s := Simple(e); !s.IsEmpty() {
+		t.Errorf("simple algorithm: S = %s, want ∅ (too lazy)", s)
+	}
+	if s := Revised(e, testR).Save(); s != live {
+		t.Errorf("revised algorithm: save = %s, want %s", s, live)
+	}
+}
+
+func TestBindSets(t *testing.T) {
+	// (bind r ← simple-rhs in (seq call[r live] r)): r's save cannot
+	// float above the binder, but other registers' saves do.
+	r := 2
+	other := regset.Of(5)
+	body := SeqSets(CallSets(other.Add(r)), LeafSets())
+	rhs := LeafSets()
+	got := BindSets(r, rhs, body)
+	if got.Save().Has(r) {
+		t.Errorf("r must not escape its binder: %s", FormatSets(got))
+	}
+	if !got.Save().Has(5) {
+		t.Errorf("other registers should propagate: %s", FormatSets(got))
+	}
+	if !SaveAtBind(r, body) {
+		t.Error("binder should save r (call inevitable in body)")
+	}
+	// No call in body: nothing to save at the binder.
+	if SaveAtBind(r, LeafSets()) {
+		t.Error("no call: binder should not save")
+	}
+}
+
+func TestSeqAssociativityOfSave(t *testing.T) {
+	// The unconditional save set of a sequence is order-insensitive in
+	// the sense that (seq (seq a b) c) and (seq a (seq b c)) agree.
+	check := func(aT, aF, bT, bF, cT, cF uint8) bool {
+		a := SaveSets{T: regset.Set(aT), F: regset.Set(aF)}
+		b := SaveSets{T: regset.Set(bT), F: regset.Set(bF)}
+		c := SaveSets{T: regset.Set(cT), F: regset.Set(cF)}
+		left := SeqSets(SeqSets(a, b), c)
+		right := SeqSets(a, SeqSets(b, c))
+		return left == right
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRefsCombinators(t *testing.T) {
+	after := regset.Of(1, 2)
+	if got := RefUse(3, after); got != regset.Of(1, 2, 3) {
+		t.Errorf("RefUse = %s", got)
+	}
+	if got := RefDef(1, after); got != regset.Of(2) {
+		t.Errorf("RefDef = %s", got)
+	}
+	if got := RefCallBoundary(); !got.IsEmpty() {
+		t.Errorf("RefCallBoundary = %s", got)
+	}
+	if got := RefBranch(regset.Of(1), regset.Of(2)); got != regset.Of(1, 2) {
+		t.Errorf("RefBranch = %s", got)
+	}
+	if got := RestoreSet(regset.Of(1, 2, 3), regset.Of(2, 3, 4)); got != regset.Of(2, 3) {
+		t.Errorf("RestoreSet = %s", got)
+	}
+}

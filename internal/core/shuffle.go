@@ -1,0 +1,400 @@
+package core
+
+import (
+	"math/bits"
+
+	"repro/internal/regset"
+)
+
+// ShuffleArg describes one outgoing argument of a call for the purposes
+// of argument-register shuffling (§2.3). The operator itself participates
+// as an extra argument whose target is the closure-pointer register.
+type ShuffleArg struct {
+	// Target is the register the argument must end up in.
+	Target int
+	// Reads is the set of argument registers whose *current* values the
+	// argument expression reads. Reads of the argument's own target do
+	// not constrain the order (the write happens after the reads).
+	Reads regset.Set
+	// Complex marks arguments containing (non-tail) calls; per §3.1 all
+	// but one of these are evaluated into stack temporaries up front,
+	// "since evaluation of complex arguments may require a call, causing
+	// the previous arguments to be saved on the stack anyway".
+	Complex bool
+}
+
+// DestKind says where a shuffle step delivers its value.
+type DestKind int
+
+const (
+	// DestTarget evaluates the argument directly into its target register.
+	DestTarget DestKind = iota
+	// DestRegTemp evaluates into a free register temporary; a final move
+	// transfers it to the target.
+	DestRegTemp
+	// DestStackTemp evaluates into a stack temporary; a final move
+	// transfers it to the target.
+	DestStackTemp
+)
+
+// Step is one evaluation in a shuffle plan.
+type Step struct {
+	Arg  int      // index into the args slice
+	Dest DestKind // where the value goes
+	// TempReg is the temporary register when Dest == DestRegTemp.
+	TempReg int
+}
+
+// Plan is a complete argument-evaluation schedule: execute Steps in
+// order, then perform the temp-to-target Moves (each Moves entry is an
+// arg index whose temporary must be copied into its target register).
+type Plan struct {
+	Steps []Step
+	Moves []int
+	// HadCycle reports whether the simple-argument dependency graph
+	// contained a cycle (§3.1 reports 7% of call sites do).
+	HadCycle bool
+	// SimpleTemps counts temporaries introduced for simple arguments —
+	// the quantity the greedy heuristic tries to minimize and the one
+	// compared against OptimalSimpleTemps.
+	SimpleTemps int
+	// ComplexTemps counts temporaries used for complex arguments.
+	ComplexTemps int
+}
+
+// Temps returns the total number of temporaries in the plan.
+func (p Plan) Temps() int { return p.SimpleTemps + p.ComplexTemps }
+
+// targetsOf returns the set of target registers of the given arg indices.
+func targetsOf(args []ShuffleArg, idxs []int) regset.Set {
+	var s regset.Set
+	for _, i := range idxs {
+		s = s.Add(args[i].Target)
+	}
+	return s
+}
+
+// GreedyShuffle computes an evaluation order per the paper's greedy
+// algorithm (§3.1 steps 1–5):
+//
+//  1. build the dependency graph over the argument registers;
+//  2. partition into simple and complex arguments;
+//  3. evaluate all but one complex argument into stack temporaries,
+//     choosing as the directly-evaluated complex argument one on which no
+//     simple argument depends (if none exists, every complex argument
+//     goes to a temporary);
+//  4. repeatedly move an argument with no dependencies on the remaining
+//     argument registers onto a "to be done last" stack;
+//  5. on a cycle, greedily evaluate the argument causing the most
+//     dependencies into a temporary (a free argument register when one
+//     is available, otherwise the stack) and continue with step 4.
+func GreedyShuffle(args []ShuffleArg, freeRegs regset.Set) Plan {
+	var plan Plan
+	var simple, complex []int
+	for i, a := range args {
+		if a.Complex {
+			complex = append(complex, i)
+		} else {
+			simple = append(simple, i)
+		}
+	}
+
+	// Step 3: pick the complex argument to evaluate directly into its
+	// register: one whose target no simple argument reads.
+	chosen := -1
+	for _, c := range complex {
+		ok := true
+		for _, s := range simple {
+			if args[s].Reads.Has(args[c].Target) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			chosen = c
+			break
+		}
+	}
+	for _, c := range complex {
+		if c == chosen {
+			continue
+		}
+		plan.Steps = append(plan.Steps, Step{Arg: c, Dest: DestStackTemp})
+		plan.Moves = append(plan.Moves, c)
+		plan.ComplexTemps++
+	}
+	if chosen >= 0 {
+		plan.Steps = append(plan.Steps, Step{Arg: chosen, Dest: DestTarget})
+	}
+
+	// Steps 4 and 5 over the simple arguments.
+	remaining := append([]int(nil), simple...)
+	var doneLast []int // stack; popped LIFO after victims
+	freePool := freeRegs
+	for len(remaining) > 0 {
+		pick := -1
+		for k, i := range remaining {
+			deps := args[i].Reads.
+				Intersect(targetsOf(args, remaining)).
+				Remove(args[i].Target)
+			if deps.IsEmpty() {
+				pick = k
+				break
+			}
+		}
+		if pick >= 0 {
+			doneLast = append(doneLast, remaining[pick])
+			remaining = append(remaining[:pick], remaining[pick+1:]...)
+			continue
+		}
+		// Cycle: every remaining argument reads a remaining target.
+		plan.HadCycle = true
+		victim := 0
+		best := -1
+		for k, i := range remaining {
+			count := 0
+			for _, j := range remaining {
+				if j != i && args[j].Reads.Has(args[i].Target) {
+					count++
+				}
+			}
+			if count > best {
+				best = count
+				victim = k
+			}
+		}
+		v := remaining[victim]
+		remaining = append(remaining[:victim], remaining[victim+1:]...)
+		step := Step{Arg: v, Dest: DestStackTemp}
+		if !freePool.IsEmpty() {
+			r := bits.TrailingZeros64(uint64(freePool))
+			freePool = freePool.Remove(r)
+			step = Step{Arg: v, Dest: DestRegTemp, TempReg: r}
+		}
+		plan.Steps = append(plan.Steps, step)
+		plan.Moves = append(plan.Moves, v)
+		plan.SimpleTemps++
+	}
+	for k := len(doneLast) - 1; k >= 0; k-- {
+		plan.Steps = append(plan.Steps, Step{Arg: doneLast[k], Dest: DestTarget})
+	}
+	return plan
+}
+
+// NaiveShuffle evaluates the simple arguments in their written order —
+// the strategy the compiler used "before we installed this algorithm"
+// (§4) — placing an argument in a temporary whenever a later simple
+// argument still reads its target register. Complex arguments all go to
+// stack temporaries up front (no register value may span their internal
+// calls, so no target register or register temporary can be written
+// until every call-containing argument has finished).
+func NaiveShuffle(args []ShuffleArg, freeRegs regset.Set) Plan {
+	var plan Plan
+	freePool := freeRegs
+	var simple []int
+	for i, a := range args {
+		if a.Complex {
+			plan.Steps = append(plan.Steps, Step{Arg: i, Dest: DestStackTemp})
+			plan.Moves = append(plan.Moves, i)
+			plan.ComplexTemps++
+		} else {
+			simple = append(simple, i)
+		}
+	}
+	for k, i := range simple {
+		needTemp := false
+		for _, j := range simple[k+1:] {
+			if args[j].Reads.Has(args[i].Target) {
+				needTemp = true
+				break
+			}
+		}
+		if !needTemp {
+			plan.Steps = append(plan.Steps, Step{Arg: i, Dest: DestTarget})
+			continue
+		}
+		step := Step{Arg: i, Dest: DestStackTemp}
+		if !freePool.IsEmpty() {
+			r := bits.TrailingZeros64(uint64(freePool))
+			freePool = freePool.Remove(r)
+			step = Step{Arg: i, Dest: DestRegTemp, TempReg: r}
+		}
+		plan.Steps = append(plan.Steps, step)
+		plan.Moves = append(plan.Moves, i)
+		plan.SimpleTemps++
+	}
+	if hasSimpleCycle(args) {
+		plan.HadCycle = true
+	}
+	return plan
+}
+
+// OptimalShuffle searches every evaluation order of the simple arguments
+// for one minimizing the number of temporaries (the problem is
+// NP-complete in general, §3.1, but argument counts are small). Complex
+// arguments are handled as in GreedyShuffle.
+func OptimalShuffle(args []ShuffleArg, freeRegs regset.Set) Plan {
+	order, temps := optimalOrder(args)
+	plan := planFromOrder(args, order, temps, freeRegs)
+	plan.SimpleTemps = len(temps)
+	return plan
+}
+
+// OptimalSimpleTemps returns the minimum number of simple-argument
+// temporaries over all evaluation orders, for comparing the greedy
+// heuristic against the optimum (§3.1: greedy is optimal at all but 6 of
+// 20,245 compiler call sites).
+func OptimalSimpleTemps(args []ShuffleArg) int {
+	_, temps := optimalOrder(args)
+	return len(temps)
+}
+
+// optimalOrder returns an order of the simple args (as arg indices) and
+// the set of args that must use temporaries under that order.
+func optimalOrder(args []ShuffleArg) ([]int, map[int]bool) {
+	var simple []int
+	for i, a := range args {
+		if !a.Complex {
+			simple = append(simple, i)
+		}
+	}
+	bestTemps := map[int]bool{}
+	for _, i := range simple {
+		bestTemps[i] = true // worst case: everything through temps
+	}
+	bestOrder := append([]int(nil), simple...)
+	perm := append([]int(nil), simple...)
+	var rec func(k int)
+	found := false
+	rec = func(k int) {
+		if found && len(bestTemps) == 0 {
+			return
+		}
+		if k == len(perm) {
+			temps := tempsForOrder(args, perm)
+			if !found || len(temps) < len(bestTemps) {
+				found = true
+				bestTemps = temps
+				bestOrder = append([]int(nil), perm...)
+			}
+			return
+		}
+		for i := k; i < len(perm); i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return bestOrder, bestTemps
+}
+
+// tempsForOrder returns which args need temporaries when simple args are
+// evaluated in the given order: arg i needs one iff a later argument
+// still reads i's target register.
+func tempsForOrder(args []ShuffleArg, order []int) map[int]bool {
+	temps := map[int]bool{}
+	for k, i := range order {
+		for _, j := range order[k+1:] {
+			if args[j].Reads.Has(args[i].Target) {
+				temps[i] = true
+				break
+			}
+		}
+	}
+	return temps
+}
+
+// planFromOrder builds a Plan that evaluates complex args to temps, then
+// the simple args in the given order with the given temp assignment.
+func planFromOrder(args []ShuffleArg, order []int, temps map[int]bool, freeRegs regset.Set) Plan {
+	var plan Plan
+	for i, a := range args {
+		if a.Complex {
+			plan.Steps = append(plan.Steps, Step{Arg: i, Dest: DestStackTemp})
+			plan.Moves = append(plan.Moves, i)
+			plan.ComplexTemps++
+		}
+	}
+	freePool := freeRegs
+	for _, i := range order {
+		if !temps[i] {
+			plan.Steps = append(plan.Steps, Step{Arg: i, Dest: DestTarget})
+			continue
+		}
+		step := Step{Arg: i, Dest: DestStackTemp}
+		if !freePool.IsEmpty() {
+			r := bits.TrailingZeros64(uint64(freePool))
+			freePool = freePool.Remove(r)
+			step = Step{Arg: i, Dest: DestRegTemp, TempReg: r}
+		}
+		plan.Steps = append(plan.Steps, step)
+		plan.Moves = append(plan.Moves, i)
+	}
+	if hasSimpleCycle(args) {
+		plan.HadCycle = true
+	}
+	return plan
+}
+
+// hasSimpleCycle reports whether the dependency graph over the simple
+// arguments contains a directed cycle (arg i → arg j when i reads j's
+// target).
+func hasSimpleCycle(args []ShuffleArg) bool {
+	var simple []int
+	for i, a := range args {
+		if !a.Complex {
+			simple = append(simple, i)
+		}
+	}
+	remaining := append([]int(nil), simple...)
+	for len(remaining) > 0 {
+		pick := -1
+		for k, i := range remaining {
+			deps := args[i].Reads.
+				Intersect(targetsOf(args, remaining)).
+				Remove(args[i].Target)
+			if deps.IsEmpty() {
+				pick = k
+				break
+			}
+		}
+		if pick < 0 {
+			return true
+		}
+		remaining = append(remaining[:pick], remaining[pick+1:]...)
+	}
+	return false
+}
+
+// ValidOrder checks a plan against the shuffle correctness contract: no
+// argument may read a target register after that register has been
+// overwritten. It returns false if the plan would read clobbered data.
+// (Complex arguments' internal calls save and restore live registers, so
+// only direct target writes are modeled.)
+func ValidOrder(args []ShuffleArg, plan Plan) bool {
+	written := regset.Empty
+	planned := map[int]bool{}
+	for _, st := range plan.Steps {
+		if planned[st.Arg] {
+			return false // evaluated twice
+		}
+		planned[st.Arg] = true
+		a := args[st.Arg]
+		if !a.Reads.Intersect(written).Remove(a.Target).IsEmpty() {
+			return false
+		}
+		if st.Dest == DestTarget {
+			written = written.Add(a.Target)
+		}
+		if st.Dest == DestRegTemp {
+			written = written.Add(st.TempReg)
+		}
+	}
+	for i := range args {
+		if !planned[i] {
+			return false // argument never evaluated
+		}
+	}
+	return true
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/regset"
+)
+
+// Expr is the paper's §2 simplified expression language:
+//
+//	E → x | true | false | call | (seq E1 E2) | (if E1 E2 E3)
+//
+// It exists so the placement algorithms can be exercised — and verified
+// against brute-force path enumeration — in exactly the terms the paper
+// uses; the production compiler folds the same combinators over its
+// richer IR.
+type Expr interface {
+	simpleExpr()
+	String() string
+}
+
+// Var is a variable reference x (a register read).
+type Var struct{ Reg int }
+
+// True is the constant true.
+type True struct{}
+
+// False is the constant false.
+type False struct{}
+
+// Call is a procedure call; LiveAfter is the set of registers live after
+// it, i.e. the registers that must be saved somewhere before it executes.
+type Call struct{ LiveAfter regset.Set }
+
+// Seq is (seq E1 E2).
+type Seq struct{ E1, E2 Expr }
+
+// If is (if E1 E2 E3).
+type If struct{ Test, Then, Else Expr }
+
+func (Var) simpleExpr()   {}
+func (True) simpleExpr()  {}
+func (False) simpleExpr() {}
+func (Call) simpleExpr()  {}
+func (Seq) simpleExpr()   {}
+func (If) simpleExpr()    {}
+
+func (v Var) String() string  { return fmt.Sprintf("x%d", v.Reg) }
+func (True) String() string   { return "true" }
+func (False) String() string  { return "false" }
+func (c Call) String() string { return "call" + c.LiveAfter.String() }
+func (s Seq) String() string  { return fmt.Sprintf("(seq %s %s)", s.E1, s.E2) }
+func (i If) String() string   { return fmt.Sprintf("(if %s %s %s)", i.Test, i.Then, i.Else) }
+
+// Simple computes S[E] by the simple algorithm of §2.1.1.
+func Simple(e Expr) regset.Set {
+	switch t := e.(type) {
+	case Var, True, False:
+		return regset.Empty
+	case Call:
+		return t.LiveAfter
+	case Seq:
+		return SimpleSeq(SimpleSets{Simple(t.E1)}, SimpleSets{Simple(t.E2)}).S
+	case If:
+		return SimpleIf(SimpleSets{Simple(t.Test)}, SimpleSets{Simple(t.Then)}, SimpleSets{Simple(t.Else)}).S
+	default:
+		panic(fmt.Sprintf("core: unknown expression %T", e))
+	}
+}
+
+// Revised computes (S_t[E], S_f[E]) by the revised algorithm of §2.1.3.
+// r is the machine's full register universe R.
+func Revised(e Expr, r regset.Set) SaveSets {
+	switch t := e.(type) {
+	case Var:
+		return LeafSets()
+	case True:
+		return TrueSets(r)
+	case False:
+		return FalseSets(r)
+	case Call:
+		return CallSets(t.LiveAfter)
+	case Seq:
+		return SeqSets(Revised(t.E1, r), Revised(t.E2, r))
+	case If:
+		return IfSets(Revised(t.Test, r), Revised(t.Then, r), Revised(t.Else, r))
+	default:
+		panic(fmt.Sprintf("core: unknown expression %T", e))
+	}
+}
+
+// outcome abstracts an expression result on a particular control path.
+type outcome int
+
+const (
+	outTrue outcome = iota
+	outFalse
+)
+
+// path is one feasible control path: the result outcome and the union of
+// the save sets of the calls executed along it.
+type path struct {
+	out   outcome
+	saves regset.Set
+	calls int
+}
+
+// paths enumerates every feasible control path through e. Infeasible
+// paths (e.g. the constant true evaluating to false) are not produced —
+// this is the semantic ground truth against which the recursive
+// equations are verified.
+func paths(e Expr) []path {
+	switch t := e.(type) {
+	case Var:
+		return []path{{out: outTrue}, {out: outFalse}}
+	case True:
+		return []path{{out: outTrue}}
+	case False:
+		return []path{{out: outFalse}}
+	case Call:
+		return []path{
+			{out: outTrue, saves: t.LiveAfter, calls: 1},
+			{out: outFalse, saves: t.LiveAfter, calls: 1},
+		}
+	case Seq:
+		var out []path
+		for _, p1 := range paths(t.E1) {
+			for _, p2 := range paths(t.E2) {
+				out = append(out, path{
+					out:   p2.out,
+					saves: p1.saves.Union(p2.saves),
+					calls: p1.calls + p2.calls,
+				})
+			}
+		}
+		return out
+	case If:
+		var out []path
+		for _, pt := range paths(t.Test) {
+			branch := t.Then
+			if pt.out == outFalse {
+				branch = t.Else
+			}
+			for _, pb := range paths(branch) {
+				out = append(out, path{
+					out:   pb.out,
+					saves: pt.saves.Union(pb.saves),
+					calls: pt.calls + pb.calls,
+				})
+			}
+		}
+		return out
+	default:
+		panic(fmt.Sprintf("core: unknown expression %T", e))
+	}
+}
+
+// PathSets computes (S_t[E], S_f[E]) from first principles by
+// enumerating control paths: along a path, union the save sets; across
+// paths with the same outcome, intersect; an outcome with no feasible
+// path yields R.
+func PathSets(e Expr, r regset.Set) SaveSets {
+	st, sf := r, r
+	for _, p := range paths(e) {
+		if p.out == outTrue {
+			st = st.Intersect(p.saves)
+		} else {
+			sf = sf.Intersect(p.saves)
+		}
+	}
+	return SaveSets{T: st, F: sf}
+}
+
+// HasCallFreePath reports whether some feasible path through e executes
+// no call ("E contains a path without any calls", §2.4).
+func HasCallFreePath(e Expr) bool {
+	for _, p := range paths(e) {
+		if p.calls == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// CallInevitable reports whether every feasible path through e makes a
+// call. With the ret-register technique of §2.4 this is equivalent to
+// ret ∈ S_t[E] ∩ S_f[E].
+func CallInevitable(e Expr) bool { return !HasCallFreePath(e) }
+
+// FormatSets renders save sets for dumps: "St=... Sf=... save=...".
+func FormatSets(s SaveSets) string {
+	var b strings.Builder
+	b.WriteString("St=")
+	b.WriteString(s.T.String())
+	b.WriteString(" Sf=")
+	b.WriteString(s.F.String())
+	b.WriteString(" save=")
+	b.WriteString(s.Save().String())
+	return b.String()
+}

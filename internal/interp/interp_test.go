@@ -1,0 +1,251 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/prelude"
+	"repro/internal/prim"
+	"repro/internal/sexp"
+)
+
+// run evaluates src (with the prelude prepended) and returns the result's
+// write representation.
+func run(t *testing.T, src string) string {
+	t.Helper()
+	v, err := runErr(src)
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	return prim.WriteString(v)
+}
+
+func runErr(src string) (prim.Value, error) {
+	prog, err := ast.ParseString(prelude.Source + "\n" + src)
+	if err != nil {
+		return nil, err
+	}
+	in := New(nil)
+	in.MaxSteps = 50_000_000
+	return in.RunProgram(prog)
+}
+
+func TestBasicEval(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"42", "42"},
+		{"(+ 1 2 3)", "6"},
+		{"(- 10 3 2)", "5"},
+		{"(* 2 3 4)", "24"},
+		{"(quotient 17 5)", "3"},
+		{"(remainder 17 5)", "2"},
+		{"(modulo -7 3)", "2"},
+		{"(if #t 1 2)", "1"},
+		{"(if #f 1 2)", "2"},
+		{"(if 0 1 2)", "1"}, // 0 is true in Scheme
+		{"(let ([x 1] [y 2]) (+ x y))", "3"},
+		{"(let* ([x 1] [y (+ x 1)]) y)", "2"},
+		{"((lambda (x y) (* x y)) 3 4)", "12"},
+		{"(begin 1 2 3)", "3"},
+		{"(cons 1 2)", "(1 . 2)"},
+		{"(car '(1 2))", "1"},
+		{"(cdr '(1 2))", "(2)"},
+		{"'sym", "sym"},
+		{"(eq? 'a 'a)", "#t"},
+		{"(equal? '(1 (2)) '(1 (2)))", "#t"},
+		{"(and 1 2)", "2"},
+		{"(and #f 2)", "#f"},
+		{"(or #f 2)", "2"},
+		{"(or 1 2)", "1"},
+		{"(not 3)", "#f"},
+		{"(cond [#f 1] [#t 2] [else 3])", "2"},
+		{"(case 2 [(1) 'one] [(2 3) 'few] [else 'many])", "few"},
+		{"(length '(a b c))", "3"},
+		{"(append '(1 2) '(3))", "(1 2 3)"},
+		{"(reverse '(1 2 3))", "(3 2 1)"},
+		{"(map (lambda (x) (* x x)) '(1 2 3))", "(1 4 9)"},
+		{"(assq 'b '((a 1) (b 2)))", "(b 2)"},
+		{"(vector-ref (vector 1 2 3) 1)", "2"},
+		{"(string-append \"a\" \"b\")", `"ab"`},
+		{"(symbol->string 'abc)", `"abc"`},
+		{"(char->integer #\\A)", "65"},
+		{"(do ([i 0 (+ i 1)] [acc 1 (* acc 2)]) ((= i 4) acc))", "16"},
+		{"(let loop ([i 0] [sum 0]) (if (= i 5) sum (loop (+ i 1) (+ sum i))))", "10"},
+		{"(filter even? '(1 2 3 4 5 6))", "(2 4 6)"},
+		{"(fold-left + 0 '(1 2 3 4))", "10"},
+		{"(expt 2 10)", "1024"},
+		{"(* 1.5 2)", "3."},
+		{"(< 1 2 3)", "#t"},
+		{"(< 1 3 2)", "#f"},
+	}
+	for _, c := range cases {
+		if got := run(t, c.src); got != c.want {
+			t.Errorf("eval(%q) = %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestDefineAndRecursion(t *testing.T) {
+	src := `
+(define (fact n) (if (zero? n) 1 (* n (fact (- n 1)))))
+(fact 10)`
+	if got := run(t, src); got != "3628800" {
+		t.Errorf("fact 10 = %s", got)
+	}
+}
+
+func TestMutualRecursion(t *testing.T) {
+	src := `
+(define (even2? n) (if (zero? n) #t (odd2? (- n 1))))
+(define (odd2? n) (if (zero? n) #f (even2? (- n 1))))
+(even2? 101)`
+	if got := run(t, src); got != "#f" {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestSetAndClosure(t *testing.T) {
+	src := `
+(define (make-counter)
+  (let ([n 0])
+    (lambda () (set! n (+ n 1)) n)))
+(define c (make-counter))
+(c) (c) (c)`
+	if got := run(t, src); got != "3" {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestProperTailCalls(t *testing.T) {
+	// A loop of 1e6 iterations must not blow the Go stack.
+	src := `(let loop ([i 0]) (if (= i 1000000) 'done (loop (+ i 1))))`
+	if got := run(t, src); got != "done" {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestCallCCEscape(t *testing.T) {
+	src := `(+ 1 (call/cc (lambda (k) (k 10) 999)))`
+	if got := run(t, src); got != "11" {
+		t.Errorf("got %s", got)
+	}
+	src = `(+ 1 (call/cc (lambda (k) 10)))`
+	if got := run(t, src); got != "11" {
+		t.Errorf("normal return: got %s", got)
+	}
+	// Escape from deep inside.
+	src = `
+(define (find-first p l)
+  (call/cc
+    (lambda (return)
+      (for-each (lambda (x) (if (p x) (return x) #f)) l)
+      'not-found)))
+(find-first even? '(1 3 4 5))`
+	if got := run(t, src); got != "4" {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	bad := []string{
+		"(car 1)",
+		"(undefined-var)",
+		"(+ 'a 1)",
+		"((lambda (x) x) 1 2)",
+		"(vector-ref (vector 1) 5)",
+		"(error \"boom\" 1 2)",
+		"(quotient 1 0)",
+	}
+	for _, src := range bad {
+		if _, err := runErr(src); err == nil {
+			t.Errorf("eval(%q): expected error", src)
+		}
+	}
+}
+
+func TestSchemeErrorMessage(t *testing.T) {
+	_, err := runErr(`(error "bad thing" 'x 42)`)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	se, ok := err.(*prim.SchemeError)
+	if !ok {
+		t.Fatalf("expected SchemeError, got %T", err)
+	}
+	if !strings.Contains(se.Error(), "bad thing") || !strings.Contains(se.Error(), "42") {
+		t.Errorf("message = %q", se.Error())
+	}
+}
+
+func TestOutput(t *testing.T) {
+	var b strings.Builder
+	prog, err := ast.ParseString(`(display "x = ") (display 42) (newline) (write "q")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(&b)
+	if _, err := in.RunProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "x = 42\n\"q\"" {
+		t.Errorf("output = %q", b.String())
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	prog, err := ast.ParseString(`(define (spin) (spin)) (spin)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(nil)
+	in.MaxSteps = 10000
+	if _, err := in.RunProgram(prog); err == nil {
+		t.Error("expected step budget error")
+	}
+}
+
+func TestQuotedConstantsNotAliased(t *testing.T) {
+	// Mutating a quoted constant must not corrupt later evaluations of
+	// the same constant expression.
+	src := `
+(define (f) '(1 2))
+(define a (f))
+(set-car! a 99)
+(car (f))`
+	if got := run(t, src); got != "1" {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestBoxes(t *testing.T) {
+	if got := run(t, "(let ([b (box 1)]) (set-box! b 2) (unbox b))"); got != "2" {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestDatumOpacity(t *testing.T) {
+	// Closures stored in vectors survive round trips.
+	src := `(let ([v (make-vector 1 0)])
+            (vector-set! v 0 (lambda (x) (+ x 1)))
+            ((vector-ref v 0) 41))`
+	if got := run(t, src); got != "42" {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestGlobalSetUndefined(t *testing.T) {
+	if got := run(t, "(set! brand-new 5) brand-new"); got != "5" {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestConstDatumValue(t *testing.T) {
+	v, err := runErr("'(a . 5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := v.(*sexp.Pair)
+	if !ok || p.Car != sexp.Symbol("a") || p.Cdr != sexp.Fixnum(5) {
+		t.Errorf("got %#v", v)
+	}
+}

@@ -1,0 +1,133 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/regset"
+	"repro/internal/sexp"
+)
+
+func v(name string, reg int) *Var {
+	return &Var{Name: name, Loc: Loc{Kind: LocReg, Index: reg}, SaveSlot: -1, CSReg: -1}
+}
+
+func TestLocString(t *testing.T) {
+	if got := (Loc{Kind: LocReg, Index: 5}).String(); got != "r5" {
+		t.Errorf("got %q", got)
+	}
+	if got := (Loc{Kind: LocSlot, Index: 2}).String(); got != "fp[2]" {
+		t.Errorf("got %q", got)
+	}
+	if got := (Loc{}).String(); got != "?" {
+		t.Errorf("got %q", got)
+	}
+	unassigned := &Var{Name: "x"}
+	if unassigned.String() != "x" {
+		t.Errorf("got %q", unassigned.String())
+	}
+}
+
+func TestHasCalls(t *testing.T) {
+	x := v("x", 3)
+	call := &Call{Fn: &GlobalRef{Name: "f"}, Args: []Expr{&VarRef{Var: x}}}
+	tail := &Call{Fn: &GlobalRef{Name: "f"}, Tail: true}
+
+	cases := []struct {
+		name string
+		e    Expr
+		want bool
+	}{
+		{"const", &Const{Value: sexp.Fixnum(1)}, false},
+		{"var", &VarRef{Var: x}, false},
+		{"call", call, true},
+		{"tail-call-alone", tail, false},
+		{"call-inside-tail-args", &Call{Fn: &GlobalRef{Name: "g"}, Args: []Expr{call}, Tail: true}, true},
+		{"seq", &Seq{Exprs: []Expr{&Const{Value: sexp.Fixnum(1)}, call}}, true},
+		{"if-no-calls", &If{Test: &VarRef{Var: x}, Then: &VarRef{Var: x}, Else: &VarRef{Var: x}}, false},
+		{"if-one-arm", &If{Test: &VarRef{Var: x}, Then: call, Else: &VarRef{Var: x}}, true},
+		{"bind-rhs", &Bind{Var: x, Rhs: call, Body: &VarRef{Var: x}}, true},
+		{"prim-args", &PrimCall{Args: []Expr{call}}, true},
+		{"closure", &MakeClosure{ProcIndex: 0, Free: nil}, false},
+		{"global-set", &GlobalSet{Rhs: call}, true},
+		{"fix-body", &Fix{Vars: []*Var{x}, Closures: []*MakeClosure{{}}, Body: call, SaveVars: []bool{false}}, true},
+		{"save", &Save{Body: call}, true},
+	}
+	for _, c := range cases {
+		if got := HasCalls(c.e); got != c.want {
+			t.Errorf("%s: HasCalls = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestPrintForms(t *testing.T) {
+	x := v("x", 3)
+	e := &If{
+		Test:      &VarRef{Var: x},
+		Then:      &PrimCall{Def: nil, Args: nil},
+		Else:      &Const{Value: sexp.Fixnum(1)},
+		ThenSaves: regset.Of(3),
+	}
+	// PrimCall with nil Def would panic on Name; use a real one via a
+	// different expression instead.
+	e.Then = &Const{Value: sexp.Boolean(true)}
+	s := Print(e)
+	if !strings.Contains(s, "(if x:r3 (save {r3} #t) 1)") {
+		t.Errorf("got %q", s)
+	}
+
+	bind := &Bind{Var: x, Rhs: &Const{Value: sexp.Fixnum(2)}, Body: &VarRef{Var: x}, SaveVar: true}
+	if got := Print(bind); !strings.Contains(got, "save!") {
+		t.Errorf("SaveVar marker missing: %q", got)
+	}
+
+	call := &Call{Fn: &GlobalRef{Name: "f"}, Args: []Expr{&FreeRef{Index: 0, Name: "y"}}, Tail: true}
+	if got := Print(call); !strings.Contains(got, "tailcall") || !strings.Contains(got, "free 0") {
+		t.Errorf("got %q", got)
+	}
+
+	cc := &Call{Fn: &GlobalRef{Name: "f"}, CallCC: true}
+	if got := Print(cc); !strings.Contains(got, "call/cc") {
+		t.Errorf("got %q", got)
+	}
+
+	fix := &Fix{
+		Vars:     []*Var{x},
+		Closures: []*MakeClosure{{ProcIndex: 2, Free: []Expr{&VarRef{Var: x}}}},
+		Body:     &VarRef{Var: x},
+		SaveVars: []bool{false},
+	}
+	if got := Print(fix); !strings.Contains(got, "(fix (") || !strings.Contains(got, "closure 2") {
+		t.Errorf("got %q", got)
+	}
+
+	gset := &GlobalSet{Name: "g", Rhs: &Const{Value: sexp.Fixnum(3)}}
+	if got := Print(gset); got != "(global-set! g 3)" {
+		t.Errorf("got %q", got)
+	}
+
+	seq := &Seq{Exprs: []Expr{&Const{Value: sexp.Fixnum(1)}, &Const{Value: sexp.Fixnum(2)}}}
+	if got := Print(seq); got != "(seq 1 2)" {
+		t.Errorf("got %q", got)
+	}
+
+	save := &Save{Regs: regset.Of(1, 2), Body: &Const{Value: sexp.Fixnum(0)}}
+	if got := Print(save); !strings.Contains(got, "(save {r1 r2} 0)") {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestPrintProc(t *testing.T) {
+	x := v("x", 3)
+	p := &Proc{Name: "f", Params: []*Var{x}, Body: &VarRef{Var: x}}
+	if got := PrintProc(p); got != "(proc f (x:r3) x:r3)" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestQuotedConstPrinting(t *testing.T) {
+	c := &Const{Value: sexp.List(sexp.Symbol("a"), sexp.Fixnum(1))}
+	if got := Print(c); got != "(a 1)" {
+		t.Errorf("got %q", got)
+	}
+}

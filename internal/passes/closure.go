@@ -1,0 +1,343 @@
+package passes
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/ir"
+	"repro/internal/prim"
+	"repro/internal/sexp"
+)
+
+// ClosureConvert lowers an assignment-converted AST program into the
+// first-order IR: each lambda becomes an ir.Proc whose free variables
+// are captured in a closure record, letrecs of lambdas become ir.Fix,
+// and calls to primitive names that the program does not shadow are
+// open-coded as ir.PrimCall.
+func ClosureConvert(p *ast.Program) (*ir.Program, error) {
+	cc := &closureConverter{
+		globalIdx:   map[sexp.Symbol]int{},
+		userDefined: map[sexp.Symbol]bool{},
+	}
+	for _, d := range p.Defs {
+		cc.userDefined[d.Name] = true
+	}
+	scanGlobalSets(p.Body, cc.userDefined)
+	for _, d := range p.Defs {
+		scanGlobalSets(d.Rhs, cc.userDefined)
+	}
+
+	main := &procConverter{cc: cc, locals: map[*ast.Var]*ir.Var{}}
+	var seq []ir.Expr
+	for _, d := range p.Defs {
+		rhs, err := main.convert(d.Rhs, false)
+		if err != nil {
+			return nil, err
+		}
+		seq = append(seq, &ir.GlobalSet{Index: cc.globalIndex(d.Name), Name: d.Name, Rhs: rhs})
+	}
+	body, err := main.convert(p.Body, true)
+	if err != nil {
+		return nil, err
+	}
+	seq = append(seq, body)
+	var mainBody ir.Expr
+	if len(seq) == 1 {
+		mainBody = seq[0]
+	} else {
+		mainBody = &ir.Seq{Exprs: seq}
+	}
+	if len(main.freeOrder) != 0 {
+		return nil, fmt.Errorf("passes: top level has free variables: %v", main.freeOrder)
+	}
+	mainProc := &ir.Proc{Name: "main", Body: mainBody}
+	cc.procs = append(cc.procs, mainProc)
+
+	prog := &ir.Program{
+		Procs:       cc.procs,
+		MainIndex:   len(cc.procs) - 1,
+		GlobalNames: cc.globalNames,
+		PrimGlobals: cc.primGlobals,
+		UserGlobals: cc.userGlobals,
+	}
+	return prog, nil
+}
+
+// scanGlobalSets records every global name the program assigns, so that
+// a set! of a primitive name disables its open-coding everywhere.
+func scanGlobalSets(e ast.Expr, out map[sexp.Symbol]bool) {
+	switch t := e.(type) {
+	case *ast.GlobalSet:
+		out[t.Name] = true
+		scanGlobalSets(t.Rhs, out)
+	case *ast.If:
+		scanGlobalSets(t.Test, out)
+		scanGlobalSets(t.Then, out)
+		scanGlobalSets(t.Else, out)
+	case *ast.Begin:
+		for _, x := range t.Exprs {
+			scanGlobalSets(x, out)
+		}
+	case *ast.Lambda:
+		scanGlobalSets(t.Body, out)
+	case *ast.Let:
+		for _, x := range t.Inits {
+			scanGlobalSets(x, out)
+		}
+		scanGlobalSets(t.Body, out)
+	case *ast.Letrec:
+		for _, x := range t.Inits {
+			scanGlobalSets(x, out)
+		}
+		scanGlobalSets(t.Body, out)
+	case *ast.Set:
+		scanGlobalSets(t.Rhs, out)
+	case *ast.Call:
+		scanGlobalSets(t.Fn, out)
+		for _, x := range t.Args {
+			scanGlobalSets(x, out)
+		}
+	}
+}
+
+type closureConverter struct {
+	procs       []*ir.Proc
+	globalIdx   map[sexp.Symbol]int
+	globalNames []sexp.Symbol
+	primGlobals []*prim.Def
+	userGlobals []bool
+	userDefined map[sexp.Symbol]bool
+}
+
+func (cc *closureConverter) globalIndex(name sexp.Symbol) int {
+	if i, ok := cc.globalIdx[name]; ok {
+		return i
+	}
+	i := len(cc.globalNames)
+	cc.globalIdx[name] = i
+	cc.globalNames = append(cc.globalNames, name)
+	cc.primGlobals = append(cc.primGlobals, prim.Lookup(name))
+	cc.userGlobals = append(cc.userGlobals, cc.userDefined[name])
+	return i
+}
+
+// openCodable reports whether a call to the global name can be compiled
+// as a primitive application.
+func (cc *closureConverter) openCodable(name sexp.Symbol) *prim.Def {
+	if cc.userDefined[name] {
+		return nil
+	}
+	return prim.Lookup(name)
+}
+
+// procConverter converts one lambda body, discovering free variables.
+type procConverter struct {
+	cc        *closureConverter
+	parent    *procConverter
+	locals    map[*ast.Var]*ir.Var
+	freeIdx   map[*ast.Var]int
+	freeOrder []*ast.Var
+}
+
+// resolve turns an AST variable into a reference expression in this
+// procedure, registering it as a free variable when necessary.
+func (pc *procConverter) resolve(v *ast.Var) ir.Expr {
+	if iv, ok := pc.locals[v]; ok {
+		return &ir.VarRef{Var: iv}
+	}
+	if pc.parent == nil {
+		// Should be impossible: parser resolved it as a local somewhere.
+		panic(fmt.Sprintf("passes: unbound variable %s", v))
+	}
+	if idx, ok := pc.freeIdx[v]; ok {
+		return &ir.FreeRef{Index: idx, Name: string(v.Name)}
+	}
+	if pc.freeIdx == nil {
+		pc.freeIdx = map[*ast.Var]int{}
+	}
+	idx := len(pc.freeOrder)
+	pc.freeIdx[v] = idx
+	pc.freeOrder = append(pc.freeOrder, v)
+	return &ir.FreeRef{Index: idx, Name: string(v.Name)}
+}
+
+func (pc *procConverter) newLocal(v *ast.Var) *ir.Var {
+	iv := &ir.Var{Name: string(v.Name), SaveSlot: -1, CSReg: -1}
+	pc.locals[v] = iv
+	return iv
+}
+
+func (pc *procConverter) convert(e ast.Expr, tail bool) (ir.Expr, error) {
+	switch t := e.(type) {
+	case *ast.Const:
+		return &ir.Const{Value: t.Value}, nil
+	case *ast.Ref:
+		return pc.resolve(t.Var), nil
+	case *ast.GlobalRef:
+		return &ir.GlobalRef{Index: pc.cc.globalIndex(t.Name), Name: t.Name}, nil
+	case *ast.GlobalSet:
+		rhs, err := pc.convert(t.Rhs, false)
+		if err != nil {
+			return nil, err
+		}
+		return &ir.GlobalSet{Index: pc.cc.globalIndex(t.Name), Name: t.Name, Rhs: rhs}, nil
+	case *ast.If:
+		test, err := pc.convert(t.Test, false)
+		if err != nil {
+			return nil, err
+		}
+		then, err := pc.convert(t.Then, tail)
+		if err != nil {
+			return nil, err
+		}
+		els, err := pc.convert(t.Else, tail)
+		if err != nil {
+			return nil, err
+		}
+		return &ir.If{Test: test, Then: then, Else: els}, nil
+	case *ast.Begin:
+		out := make([]ir.Expr, len(t.Exprs))
+		for i, x := range t.Exprs {
+			conv, err := pc.convert(x, tail && i == len(t.Exprs)-1)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = conv
+		}
+		return &ir.Seq{Exprs: out}, nil
+	case *ast.Lambda:
+		return pc.convertLambda(t)
+	case *ast.Let:
+		return pc.convertLet(t, tail)
+	case *ast.Letrec:
+		return pc.convertFix(t, tail)
+	case *ast.Call:
+		return pc.convertCall(t, tail)
+	case *ast.Set:
+		return nil, fmt.Errorf("passes: set! survived assignment conversion")
+	default:
+		return nil, fmt.Errorf("passes: unknown expression %T", e)
+	}
+}
+
+func (pc *procConverter) convertLambda(t *ast.Lambda) (*ir.MakeClosure, error) {
+	inner := &procConverter{cc: pc.cc, parent: pc, locals: map[*ast.Var]*ir.Var{}}
+	params := make([]*ir.Var, len(t.Params))
+	for i, p := range t.Params {
+		params[i] = inner.newLocal(p)
+		params[i].Name = string(p.Name)
+	}
+	body, err := inner.convert(t.Body, true)
+	if err != nil {
+		return nil, err
+	}
+	proc := &ir.Proc{
+		Name:   t.Name,
+		Params: params,
+		NFree:  len(inner.freeOrder),
+		Body:   body,
+	}
+	for _, fv := range inner.freeOrder {
+		proc.FreeNames = append(proc.FreeNames, string(fv.Name))
+	}
+	pc.cc.procs = append(pc.cc.procs, proc)
+	procIdx := len(pc.cc.procs) - 1
+
+	free := make([]ir.Expr, len(inner.freeOrder))
+	for i, fv := range inner.freeOrder {
+		free[i] = pc.resolve(fv)
+	}
+	return &ir.MakeClosure{ProcIndex: procIdx, Free: free}, nil
+}
+
+func (pc *procConverter) convertLet(t *ast.Let, tail bool) (ir.Expr, error) {
+	// Alpha-renaming guarantees the inits cannot see the new bindings,
+	// so a parallel let lowers to a chain of sequential binds.
+	inits := make([]ir.Expr, len(t.Inits))
+	for i, init := range t.Inits {
+		conv, err := pc.convert(init, false)
+		if err != nil {
+			return nil, err
+		}
+		inits[i] = conv
+	}
+	vars := make([]*ir.Var, len(t.Vars))
+	for i, v := range t.Vars {
+		vars[i] = pc.newLocal(v)
+	}
+	body, err := pc.convert(t.Body, tail)
+	if err != nil {
+		return nil, err
+	}
+	for i := len(vars) - 1; i >= 0; i-- {
+		body = &ir.Bind{Var: vars[i], Rhs: inits[i], Body: body}
+	}
+	return body, nil
+}
+
+// convertFix handles letrecs of unassigned lambdas (assignment
+// conversion lowered every other letrec to boxes).
+func (pc *procConverter) convertFix(t *ast.Letrec, tail bool) (ir.Expr, error) {
+	vars := make([]*ir.Var, len(t.Vars))
+	for i, v := range t.Vars {
+		vars[i] = pc.newLocal(v)
+	}
+	closures := make([]*ir.MakeClosure, len(t.Inits))
+	for i, init := range t.Inits {
+		lam, ok := init.(*ast.Lambda)
+		if !ok {
+			return nil, fmt.Errorf("passes: letrec init is not a lambda after assignment conversion")
+		}
+		mc, err := pc.convertLambda(lam)
+		if err != nil {
+			return nil, err
+		}
+		closures[i] = mc
+	}
+	body, err := pc.convert(t.Body, tail)
+	if err != nil {
+		return nil, err
+	}
+	return &ir.Fix{Vars: vars, Closures: closures, Body: body, SaveVars: make([]bool, len(vars))}, nil
+}
+
+func (pc *procConverter) convertCall(t *ast.Call, tail bool) (ir.Expr, error) {
+	if g, ok := t.Fn.(*ast.GlobalRef); ok {
+		// call/cc is compiled specially unless the program shadows it.
+		if (g.Name == "call/cc" || g.Name == "call-with-current-continuation") &&
+			!pc.cc.userDefined[g.Name] && len(t.Args) == 1 {
+			fn, err := pc.convert(t.Args[0], false)
+			if err != nil {
+				return nil, err
+			}
+			return &ir.Call{Fn: fn, Tail: tail, CallCC: true}, nil
+		}
+		if def := pc.cc.openCodable(g.Name); def != nil {
+			if err := prim.CheckArity(def, len(t.Args)); err != nil {
+				return nil, fmt.Errorf("passes: %v", err)
+			}
+			args := make([]ir.Expr, len(t.Args))
+			for i, a := range t.Args {
+				conv, err := pc.convert(a, false)
+				if err != nil {
+					return nil, err
+				}
+				args[i] = conv
+			}
+			return &ir.PrimCall{Def: def, Args: args}, nil
+		}
+	}
+	fn, err := pc.convert(t.Fn, false)
+	if err != nil {
+		return nil, err
+	}
+	args := make([]ir.Expr, len(t.Args))
+	for i, a := range t.Args {
+		conv, err := pc.convert(a, false)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = conv
+	}
+	return &ir.Call{Fn: fn, Args: args, Tail: tail}, nil
+}

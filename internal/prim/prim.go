@@ -1,0 +1,386 @@
+// Package prim implements the primitive procedures of the mini-Scheme
+// run-time system. Both the reference interpreter and the compiled-code
+// virtual machine dispatch to the same primitive table, so a differential
+// test that compares the two engines exercises the compiler rather than
+// two divergent libraries.
+//
+// Primitives are deliberately first-order (they never call back into
+// Scheme); higher-order library procedures such as map and for-each are
+// defined in the Scheme prelude (see package runtime's Prelude) and are
+// compiled like user code.
+package prim
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/sexp"
+)
+
+// Value is a runtime value. Scheme data reuses the sexp datum types
+// (Fixnum, Flonum, Boolean, Char, Str, Symbol, *Pair, *Vector, Empty);
+// procedures and boxes use the types below.
+type Value interface{}
+
+// Box is an assignable cell, the target of assignment conversion.
+type Box struct{ V Value }
+
+// Procedure is implemented by every engine's closure and continuation
+// representation, so that procedure? works across engines.
+type Procedure interface{ SchemeProcedure() }
+
+// Unspecified is the value of expressions with no useful result.
+var Unspecified Value = sexp.Symbol("#!unspecified")
+
+// SchemeError is an error raised by the `error` primitive or by a
+// primitive misuse (wrong type, division by zero, index out of range).
+type SchemeError struct {
+	Msg       string
+	Irritants []Value
+}
+
+func (e *SchemeError) Error() string {
+	var b strings.Builder
+	b.WriteString("scheme error: ")
+	b.WriteString(e.Msg)
+	for _, irr := range e.Irritants {
+		b.WriteByte(' ')
+		b.WriteString(WriteString(irr))
+	}
+	return b.String()
+}
+
+// Errorf builds a *SchemeError.
+func Errorf(format string, args ...interface{}) error {
+	return &SchemeError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// Ctx carries the ambient state primitives may touch (the output sink
+// used by display/write/newline and the gensym counter).
+type Ctx struct {
+	Out       io.Writer
+	gensymCnt int
+}
+
+// Fn is the Go implementation of a primitive.
+type Fn func(ctx *Ctx, args []Value) (Value, error)
+
+// Def describes one primitive.
+type Def struct {
+	Name sexp.Symbol
+	// MinArgs and MaxArgs bound the arity; MaxArgs < 0 means variadic.
+	MinArgs, MaxArgs int
+	Fn               Fn
+}
+
+// table is the master list of primitives, populated by the files in this
+// package; Lookup and All expose it.
+var table = map[sexp.Symbol]*Def{}
+
+func def(name string, min, max int, fn Fn) {
+	sym := sexp.Symbol(name)
+	if _, dup := table[sym]; dup {
+		panic("prim: duplicate primitive " + name)
+	}
+	table[sym] = &Def{Name: sym, MinArgs: min, MaxArgs: max, Fn: fn}
+}
+
+// Lookup returns the primitive definition for name, or nil.
+func Lookup(name sexp.Symbol) *Def { return table[name] }
+
+// All returns every primitive definition sorted by name.
+func All() []*Def {
+	out := make([]*Def, 0, len(table))
+	for _, d := range table {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// CheckArity validates an argument count against a definition.
+func CheckArity(d *Def, n int) error {
+	if n < d.MinArgs || (d.MaxArgs >= 0 && n > d.MaxArgs) {
+		return Errorf("%s: wrong number of arguments (%d)", d.Name, n)
+	}
+	return nil
+}
+
+// Truthy implements Scheme truth: everything except #f is true.
+func Truthy(v Value) bool { return v != sexp.Boolean(false) }
+
+// WriteString renders a value in external (write) notation.
+func WriteString(v Value) string {
+	switch t := v.(type) {
+	case sexp.Datum:
+		return writeDatum(t)
+	case *Box:
+		return "#&" + WriteString(t.V)
+	case Procedure:
+		return "#<procedure>"
+	case nil:
+		return "#<void>"
+	default:
+		return fmt.Sprintf("#<%T %v>", v, v)
+	}
+}
+
+// DisplayString renders a value in display notation (strings unquoted,
+// characters raw).
+func DisplayString(v Value) string {
+	switch t := v.(type) {
+	case sexp.Str:
+		return string(t)
+	case sexp.Char:
+		return string(rune(t))
+	case *sexp.Pair:
+		var b strings.Builder
+		b.WriteByte('(')
+		displayTail(&b, t)
+		b.WriteByte(')')
+		return b.String()
+	case *sexp.Vector:
+		var b strings.Builder
+		b.WriteString("#(")
+		for i, it := range t.Items {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(DisplayString(it))
+		}
+		b.WriteByte(')')
+		return b.String()
+	default:
+		return WriteString(v)
+	}
+}
+
+func displayTail(b *strings.Builder, p *sexp.Pair) {
+	b.WriteString(DisplayString(p.Car))
+	switch cdr := p.Cdr.(type) {
+	case sexp.Empty:
+	case *sexp.Pair:
+		b.WriteByte(' ')
+		displayTail(b, cdr)
+	default:
+		b.WriteString(" . ")
+		b.WriteString(DisplayString(cdr))
+	}
+}
+
+// writeDatum handles pairs/vectors that may contain non-datum values
+// (closures, boxes) by recursing through WriteString.
+func writeDatum(d sexp.Datum) string {
+	switch t := d.(type) {
+	case *sexp.Pair:
+		var b strings.Builder
+		b.WriteByte('(')
+		writeTailMixed(&b, t)
+		b.WriteByte(')')
+		return b.String()
+	case *sexp.Vector:
+		var b strings.Builder
+		b.WriteString("#(")
+		for i, it := range t.Items {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(WriteString(it))
+		}
+		b.WriteByte(')')
+		return b.String()
+	default:
+		return d.String()
+	}
+}
+
+func writeTailMixed(b *strings.Builder, p *sexp.Pair) {
+	b.WriteString(WriteString(p.Car))
+	switch cdr := p.Cdr.(type) {
+	case sexp.Empty:
+	case *sexp.Pair:
+		b.WriteByte(' ')
+		writeTailMixed(b, cdr)
+	default:
+		b.WriteString(" . ")
+		b.WriteString(WriteString(cdr))
+	}
+}
+
+// Equal implements Scheme equal? over runtime values.
+func Equal(a, b Value) bool {
+	a, b = unwrapValue(a), unwrapValue(b)
+	switch x := a.(type) {
+	case *sexp.Pair:
+		y, ok := b.(*sexp.Pair)
+		return ok && Equal(x.Car, y.Car) && Equal(x.Cdr, y.Cdr)
+	case *sexp.Vector:
+		y, ok := b.(*sexp.Vector)
+		if !ok || len(x.Items) != len(y.Items) {
+			return false
+		}
+		for i := range x.Items {
+			if !Equal(x.Items[i], y.Items[i]) {
+				return false
+			}
+		}
+		return true
+	case *Box:
+		y, ok := b.(*Box)
+		return ok && Equal(x.V, y.V)
+	default:
+		return Eqv(a, b)
+	}
+}
+
+// unwrapValue removes the opaque wrapper that lets non-datum values live
+// inside pairs and vectors.
+func unwrapValue(v Value) Value {
+	if d, ok := v.(sexp.Datum); ok {
+		return Unwrap(d)
+	}
+	return v
+}
+
+// Eqv implements Scheme eqv?.
+func Eqv(a, b Value) bool {
+	a, b = unwrapValue(a), unwrapValue(b)
+	switch a.(type) {
+	case sexp.Fixnum, sexp.Flonum, sexp.Boolean, sexp.Char, sexp.Symbol, sexp.Empty:
+		return a == b
+	}
+	// Pointer identity for pairs, vectors, strings, boxes, procedures.
+	if sa, ok := a.(sexp.Str); ok {
+		sb, ok := b.(sexp.Str)
+		return ok && sa == sb // strings are immutable; value identity is safe
+	}
+	return a == b
+}
+
+// Eq implements Scheme eq?; with our representations it coincides with
+// eqv? except that flonum eq? is unspecified (we make it value equality,
+// which is what Chez does for immediates).
+func Eq(a, b Value) bool { return Eqv(a, b) }
+
+// --- numeric helpers ---
+
+func numAdd(a, b Value) (Value, error) { return numOp(a, b, "+") }
+func numSub(a, b Value) (Value, error) { return numOp(a, b, "-") }
+func numMul(a, b Value) (Value, error) { return numOp(a, b, "*") }
+
+func numOp(a, b Value, op string) (Value, error) {
+	switch x := a.(type) {
+	case sexp.Fixnum:
+		switch y := b.(type) {
+		case sexp.Fixnum:
+			switch op {
+			case "+":
+				return x + y, nil
+			case "-":
+				return x - y, nil
+			case "*":
+				return x * y, nil
+			}
+		case sexp.Flonum:
+			return flonumOp(float64(x), float64(y), op), nil
+		}
+	case sexp.Flonum:
+		switch y := b.(type) {
+		case sexp.Fixnum:
+			return flonumOp(float64(x), float64(y), op), nil
+		case sexp.Flonum:
+			return flonumOp(float64(x), float64(y), op), nil
+		}
+	}
+	return nil, Errorf("%s: expected numbers, got %s and %s", op, WriteString(a), WriteString(b))
+}
+
+func flonumOp(x, y float64, op string) Value {
+	switch op {
+	case "+":
+		return sexp.Flonum(x + y)
+	case "-":
+		return sexp.Flonum(x - y)
+	case "*":
+		return sexp.Flonum(x * y)
+	}
+	panic("unreachable")
+}
+
+func toFloat(v Value) (float64, bool) {
+	switch t := v.(type) {
+	case sexp.Fixnum:
+		return float64(t), true
+	case sexp.Flonum:
+		return float64(t), true
+	}
+	return 0, false
+}
+
+func numCompare(a, b Value) (int, error) {
+	x, okx := toFloat(a)
+	y, oky := toFloat(b)
+	if !okx || !oky {
+		return 0, Errorf("comparison: expected numbers, got %s and %s", WriteString(a), WriteString(b))
+	}
+	// Exact fixnum comparison avoids float rounding for large ints.
+	if xa, ok := a.(sexp.Fixnum); ok {
+		if yb, ok := b.(sexp.Fixnum); ok {
+			switch {
+			case xa < yb:
+				return -1, nil
+			case xa > yb:
+				return 1, nil
+			default:
+				return 0, nil
+			}
+		}
+	}
+	switch {
+	case x < y:
+		return -1, nil
+	case x > y:
+		return 1, nil
+	case math.IsNaN(x) || math.IsNaN(y):
+		return 2, nil // incomparable
+	default:
+		return 0, nil
+	}
+}
+
+func wantFixnum(name string, v Value) (sexp.Fixnum, error) {
+	n, ok := v.(sexp.Fixnum)
+	if !ok {
+		return 0, Errorf("%s: expected fixnum, got %s", name, WriteString(v))
+	}
+	return n, nil
+}
+
+func wantPair(name string, v Value) (*sexp.Pair, error) {
+	p, ok := v.(*sexp.Pair)
+	if !ok {
+		return nil, Errorf("%s: expected pair, got %s", name, WriteString(v))
+	}
+	return p, nil
+}
+
+func wantVector(name string, v Value) (*sexp.Vector, error) {
+	p, ok := v.(*sexp.Vector)
+	if !ok {
+		return nil, Errorf("%s: expected vector, got %s", name, WriteString(v))
+	}
+	return p, nil
+}
+
+func wantString(name string, v Value) (sexp.Str, error) {
+	s, ok := v.(sexp.Str)
+	if !ok {
+		return "", Errorf("%s: expected string, got %s", name, WriteString(v))
+	}
+	return s, nil
+}
+
+func boolV(b bool) Value { return sexp.Boolean(b) }

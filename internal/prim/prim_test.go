@@ -1,0 +1,227 @@
+package prim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sexp"
+)
+
+func call(t *testing.T, name string, args ...Value) Value {
+	t.Helper()
+	d := Lookup(sexp.Symbol(name))
+	if d == nil {
+		t.Fatalf("no primitive %s", name)
+	}
+	if err := CheckArity(d, len(args)); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	v, err := d.Fn(&Ctx{}, args)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return v
+}
+
+func callErr(name string, args ...Value) error {
+	d := Lookup(sexp.Symbol(name))
+	if d == nil {
+		return Errorf("no primitive %s", name)
+	}
+	if err := CheckArity(d, len(args)); err != nil {
+		return err
+	}
+	_, err := d.Fn(&Ctx{}, args)
+	return err
+}
+
+func TestArithmetic(t *testing.T) {
+	if got := call(t, "+", sexp.Fixnum(1), sexp.Fixnum(2)); got != sexp.Fixnum(3) {
+		t.Errorf("+ = %v", got)
+	}
+	if got := call(t, "+", sexp.Fixnum(1), sexp.Flonum(0.5)); got != sexp.Flonum(1.5) {
+		t.Errorf("mixed + = %v", got)
+	}
+	if got := call(t, "-", sexp.Fixnum(5)); got != sexp.Fixnum(-5) {
+		t.Errorf("unary - = %v", got)
+	}
+	if got := call(t, "/", sexp.Fixnum(6), sexp.Fixnum(3)); got != sexp.Fixnum(2) {
+		t.Errorf("exact / = %v", got)
+	}
+	if got := call(t, "/", sexp.Fixnum(1), sexp.Fixnum(2)); got != sexp.Flonum(0.5) {
+		t.Errorf("inexact / = %v", got)
+	}
+	if err := callErr("/", sexp.Fixnum(1), sexp.Fixnum(0)); err == nil {
+		t.Error("division by zero should error")
+	}
+	if got := call(t, "modulo", sexp.Fixnum(-7), sexp.Fixnum(3)); got != sexp.Fixnum(2) {
+		t.Errorf("modulo = %v", got)
+	}
+	if got := call(t, "expt", sexp.Fixnum(3), sexp.Fixnum(4)); got != sexp.Fixnum(81) {
+		t.Errorf("expt = %v", got)
+	}
+	if got := call(t, "min", sexp.Fixnum(3), sexp.Fixnum(1), sexp.Fixnum(2)); got != sexp.Fixnum(1) {
+		t.Errorf("min = %v", got)
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	if got := call(t, "<", sexp.Fixnum(1), sexp.Fixnum(2), sexp.Fixnum(3)); got != sexp.Boolean(true) {
+		t.Errorf("< chain = %v", got)
+	}
+	if got := call(t, "=", sexp.Fixnum(2), sexp.Flonum(2)); got != sexp.Boolean(true) {
+		t.Errorf("= mixed = %v", got)
+	}
+	// Large fixnums compare exactly (no float rounding).
+	big := sexp.Fixnum(1 << 62)
+	if got := call(t, "<", big, big+1); got != sexp.Boolean(true) {
+		t.Errorf("big fixnum < = %v", got)
+	}
+}
+
+func TestPairsAndOpaque(t *testing.T) {
+	p := call(t, "cons", sexp.Fixnum(1), sexp.Fixnum(2))
+	if got := call(t, "car", p); got != sexp.Fixnum(1) {
+		t.Errorf("car = %v", got)
+	}
+	// Boxes survive storage in pairs.
+	b := &Box{V: sexp.Fixnum(7)}
+	p2 := call(t, "cons", b, sexp.Nil)
+	got := call(t, "car", p2)
+	if got != Value(b) {
+		t.Errorf("car of boxed pair = %#v", got)
+	}
+	call(t, "set-car!", p2, sexp.Fixnum(9))
+	if got := call(t, "car", p2); got != sexp.Fixnum(9) {
+		t.Errorf("after set-car! = %v", got)
+	}
+}
+
+func TestCxr(t *testing.T) {
+	// (cadr '(1 2 3)) = 2
+	lst := call(t, "list", sexp.Fixnum(1), sexp.Fixnum(2), sexp.Fixnum(3))
+	if got := call(t, "cadr", lst); got != sexp.Fixnum(2) {
+		t.Errorf("cadr = %v", got)
+	}
+	if got := call(t, "caddr", lst); got != sexp.Fixnum(3) {
+		t.Errorf("caddr = %v", got)
+	}
+	if err := callErr("caar", lst); err == nil {
+		t.Error("caar of flat list should error")
+	}
+}
+
+func TestVectors(t *testing.T) {
+	v := call(t, "make-vector", sexp.Fixnum(3), sexp.Symbol("z"))
+	if got := call(t, "vector-length", v); got != sexp.Fixnum(3) {
+		t.Errorf("vector-length = %v", got)
+	}
+	call(t, "vector-set!", v, sexp.Fixnum(1), sexp.Fixnum(42))
+	if got := call(t, "vector-ref", v, sexp.Fixnum(1)); got != sexp.Fixnum(42) {
+		t.Errorf("vector-ref = %v", got)
+	}
+	if err := callErr("vector-ref", v, sexp.Fixnum(3)); err == nil {
+		t.Error("out-of-range vector-ref should error")
+	}
+	lst := call(t, "vector->list", v)
+	v2 := call(t, "list->vector", lst)
+	if got := call(t, "vector-ref", v2, sexp.Fixnum(1)); got != sexp.Fixnum(42) {
+		t.Errorf("round trip vector-ref = %v", got)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if got := call(t, "string-append", sexp.Str("foo"), sexp.Str("bar")); got != sexp.Str("foobar") {
+		t.Errorf("string-append = %v", got)
+	}
+	if got := call(t, "substring", sexp.Str("hello"), sexp.Fixnum(1), sexp.Fixnum(3)); got != sexp.Str("el") {
+		t.Errorf("substring = %v", got)
+	}
+	if got := call(t, "string->number", sexp.Str("12")); got != sexp.Fixnum(12) {
+		t.Errorf("string->number = %v", got)
+	}
+	if got := call(t, "string->number", sexp.Str("nope")); got != sexp.Boolean(false) {
+		t.Errorf("string->number non-number = %v", got)
+	}
+	if got := call(t, "string->symbol", sexp.Str("abc")); got != sexp.Symbol("abc") {
+		t.Errorf("string->symbol = %v", got)
+	}
+}
+
+func TestEqvEqualSemantics(t *testing.T) {
+	if !Eqv(sexp.Fixnum(3), sexp.Fixnum(3)) {
+		t.Error("eqv? fixnums")
+	}
+	p1 := &sexp.Pair{Car: sexp.Fixnum(1), Cdr: sexp.Nil}
+	p2 := &sexp.Pair{Car: sexp.Fixnum(1), Cdr: sexp.Nil}
+	if Eqv(p1, p2) {
+		t.Error("eqv? distinct pairs should be false")
+	}
+	if !Eqv(p1, p1) {
+		t.Error("eqv? same pair")
+	}
+	if !Equal(p1, p2) {
+		t.Error("equal? structurally equal pairs")
+	}
+}
+
+func TestWriteDisplay(t *testing.T) {
+	lst := call(t, "list", sexp.Str("a"), sexp.Char('b'))
+	if got := WriteString(lst); got != `("a" #\b)` {
+		t.Errorf("WriteString = %q", got)
+	}
+	if got := DisplayString(lst); got != "(a b)" {
+		t.Errorf("DisplayString = %q", got)
+	}
+	if got := WriteString(&Box{V: sexp.Fixnum(1)}); got != "#&1" {
+		t.Errorf("box = %q", got)
+	}
+}
+
+func TestArityChecking(t *testing.T) {
+	if err := callErr("cons", sexp.Fixnum(1)); err == nil {
+		t.Error("cons/1 should fail arity check")
+	}
+	if err := callErr("newline", sexp.Fixnum(1)); err == nil {
+		t.Error("newline/1 should fail arity check")
+	}
+}
+
+func TestAllSorted(t *testing.T) {
+	all := All()
+	if len(all) < 80 {
+		t.Errorf("expected at least 80 primitives, got %d", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Name >= all[i].Name {
+			t.Errorf("All() not sorted at %d: %s >= %s", i, all[i-1].Name, all[i].Name)
+		}
+	}
+}
+
+func TestIOOutput(t *testing.T) {
+	var b strings.Builder
+	ctx := &Ctx{Out: &b}
+	d := Lookup("display")
+	if _, err := d.Fn(ctx, []Value{sexp.Str("hi")}); err != nil {
+		t.Fatal(err)
+	}
+	n := Lookup("newline")
+	if _, err := n.Fn(ctx, nil); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "hi\n" {
+		t.Errorf("output = %q", b.String())
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	if Truthy(sexp.Boolean(false)) {
+		t.Error("#f should be falsy")
+	}
+	for _, v := range []Value{sexp.Fixnum(0), sexp.Nil, sexp.Str(""), sexp.Boolean(true)} {
+		if !Truthy(v) {
+			t.Errorf("%v should be truthy", WriteString(v))
+		}
+	}
+}

@@ -1,0 +1,839 @@
+package prim
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/sexp"
+)
+
+func init() {
+	registerPredicates()
+	registerPairs()
+	registerNumeric()
+	registerVectors()
+	registerStrings()
+	registerChars()
+	registerBoxes()
+	registerIO()
+	registerMisc()
+}
+
+func registerPredicates() {
+	def("eq?", 2, 2, func(ctx *Ctx, a []Value) (Value, error) { return boolV(Eq(a[0], a[1])), nil })
+	def("eqv?", 2, 2, func(ctx *Ctx, a []Value) (Value, error) { return boolV(Eqv(a[0], a[1])), nil })
+	def("equal?", 2, 2, func(ctx *Ctx, a []Value) (Value, error) { return boolV(Equal(a[0], a[1])), nil })
+	def("null?", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
+		_, ok := a[0].(sexp.Empty)
+		return boolV(ok), nil
+	})
+	def("pair?", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
+		_, ok := a[0].(*sexp.Pair)
+		return boolV(ok), nil
+	})
+	def("symbol?", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
+		_, ok := a[0].(sexp.Symbol)
+		return boolV(ok), nil
+	})
+	def("number?", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
+		_, ok := toFloat(a[0])
+		return boolV(ok), nil
+	})
+	def("integer?", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
+		switch t := a[0].(type) {
+		case sexp.Fixnum:
+			return boolV(true), nil
+		case sexp.Flonum:
+			return boolV(float64(t) == math.Trunc(float64(t))), nil
+		}
+		return boolV(false), nil
+	})
+	def("fixnum?", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
+		_, ok := a[0].(sexp.Fixnum)
+		return boolV(ok), nil
+	})
+	def("flonum?", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
+		_, ok := a[0].(sexp.Flonum)
+		return boolV(ok), nil
+	})
+	def("boolean?", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
+		_, ok := a[0].(sexp.Boolean)
+		return boolV(ok), nil
+	})
+	def("string?", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
+		_, ok := a[0].(sexp.Str)
+		return boolV(ok), nil
+	})
+	def("char?", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
+		_, ok := a[0].(sexp.Char)
+		return boolV(ok), nil
+	})
+	def("vector?", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
+		_, ok := a[0].(*sexp.Vector)
+		return boolV(ok), nil
+	})
+	def("procedure?", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
+		_, ok := a[0].(Procedure)
+		return boolV(ok), nil
+	})
+	def("box?", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
+		_, ok := a[0].(*Box)
+		return boolV(ok), nil
+	})
+	def("zero?", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
+		c, err := numCompare(a[0], sexp.Fixnum(0))
+		if err != nil {
+			return nil, err
+		}
+		return boolV(c == 0), nil
+	})
+	def("positive?", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
+		c, err := numCompare(a[0], sexp.Fixnum(0))
+		if err != nil {
+			return nil, err
+		}
+		return boolV(c == 1), nil
+	})
+	def("negative?", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
+		c, err := numCompare(a[0], sexp.Fixnum(0))
+		if err != nil {
+			return nil, err
+		}
+		return boolV(c == -1), nil
+	})
+	def("even?", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
+		n, err := wantFixnum("even?", a[0])
+		if err != nil {
+			return nil, err
+		}
+		return boolV(n%2 == 0), nil
+	})
+	def("odd?", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
+		n, err := wantFixnum("odd?", a[0])
+		if err != nil {
+			return nil, err
+		}
+		return boolV(n%2 != 0), nil
+	})
+}
+
+func registerPairs() {
+	def("cons", 2, 2, func(ctx *Ctx, a []Value) (Value, error) {
+		return &sexp.Pair{Car: asDatum(a[0]), Cdr: asDatum(a[1])}, nil
+	})
+	def("car", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
+		p, err := wantPair("car", a[0])
+		if err != nil {
+			return nil, err
+		}
+		return Unwrap(p.Car), nil
+	})
+	def("cdr", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
+		p, err := wantPair("cdr", a[0])
+		if err != nil {
+			return nil, err
+		}
+		return Unwrap(p.Cdr), nil
+	})
+	def("set-car!", 2, 2, func(ctx *Ctx, a []Value) (Value, error) {
+		p, err := wantPair("set-car!", a[0])
+		if err != nil {
+			return nil, err
+		}
+		p.Car = asDatum(a[1])
+		return Unspecified, nil
+	})
+	def("set-cdr!", 2, 2, func(ctx *Ctx, a []Value) (Value, error) {
+		p, err := wantPair("set-cdr!", a[0])
+		if err != nil {
+			return nil, err
+		}
+		p.Cdr = asDatum(a[1])
+		return Unspecified, nil
+	})
+	// Compound accessors caar..cddr and the common three-deep ones.
+	for _, path := range []string{"aa", "ad", "da", "dd", "aaa", "aad", "ada", "add", "daa", "dad", "dda", "ddd"} {
+		path := path
+		name := "c" + path + "r"
+		def(name, 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
+			v := a[0]
+			for i := len(path) - 1; i >= 0; i-- {
+				p, err := wantPair(name, v)
+				if err != nil {
+					return nil, err
+				}
+				if path[i] == 'a' {
+					v = Unwrap(p.Car)
+				} else {
+					v = Unwrap(p.Cdr)
+				}
+			}
+			return v, nil
+		})
+	}
+	def("list", 0, -1, func(ctx *Ctx, a []Value) (Value, error) {
+		var out sexp.Datum = sexp.Nil
+		for i := len(a) - 1; i >= 0; i-- {
+			out = &sexp.Pair{Car: asDatum(a[i]), Cdr: out}
+		}
+		return out, nil
+	})
+}
+
+func registerNumeric() {
+	def("+", 0, -1, func(ctx *Ctx, a []Value) (Value, error) {
+		var acc Value = sexp.Fixnum(0)
+		for _, v := range a {
+			var err error
+			if acc, err = numAdd(acc, v); err != nil {
+				return nil, err
+			}
+		}
+		return acc, nil
+	})
+	def("-", 1, -1, func(ctx *Ctx, a []Value) (Value, error) {
+		if len(a) == 1 {
+			return numSub(sexp.Fixnum(0), a[0])
+		}
+		acc := a[0]
+		for _, v := range a[1:] {
+			var err error
+			if acc, err = numSub(acc, v); err != nil {
+				return nil, err
+			}
+		}
+		return acc, nil
+	})
+	def("*", 0, -1, func(ctx *Ctx, a []Value) (Value, error) {
+		var acc Value = sexp.Fixnum(1)
+		for _, v := range a {
+			var err error
+			if acc, err = numMul(acc, v); err != nil {
+				return nil, err
+			}
+		}
+		return acc, nil
+	})
+	def("/", 1, -1, func(ctx *Ctx, a []Value) (Value, error) {
+		if len(a) == 1 {
+			return divide(sexp.Fixnum(1), a[0])
+		}
+		acc := a[0]
+		for _, v := range a[1:] {
+			var err error
+			if acc, err = divide(acc, v); err != nil {
+				return nil, err
+			}
+		}
+		return acc, nil
+	})
+	def("quotient", 2, 2, func(ctx *Ctx, a []Value) (Value, error) {
+		x, err := wantFixnum("quotient", a[0])
+		if err != nil {
+			return nil, err
+		}
+		y, err := wantFixnum("quotient", a[1])
+		if err != nil {
+			return nil, err
+		}
+		if y == 0 {
+			return nil, Errorf("quotient: division by zero")
+		}
+		return x / y, nil
+	})
+	def("remainder", 2, 2, func(ctx *Ctx, a []Value) (Value, error) {
+		x, err := wantFixnum("remainder", a[0])
+		if err != nil {
+			return nil, err
+		}
+		y, err := wantFixnum("remainder", a[1])
+		if err != nil {
+			return nil, err
+		}
+		if y == 0 {
+			return nil, Errorf("remainder: division by zero")
+		}
+		return x % y, nil
+	})
+	def("modulo", 2, 2, func(ctx *Ctx, a []Value) (Value, error) {
+		x, err := wantFixnum("modulo", a[0])
+		if err != nil {
+			return nil, err
+		}
+		y, err := wantFixnum("modulo", a[1])
+		if err != nil {
+			return nil, err
+		}
+		if y == 0 {
+			return nil, Errorf("modulo: division by zero")
+		}
+		m := x % y
+		if m != 0 && (m < 0) != (y < 0) {
+			m += y
+		}
+		return m, nil
+	})
+	def("abs", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
+		switch t := a[0].(type) {
+		case sexp.Fixnum:
+			if t < 0 {
+				return -t, nil
+			}
+			return t, nil
+		case sexp.Flonum:
+			return sexp.Flonum(math.Abs(float64(t))), nil
+		}
+		return nil, Errorf("abs: expected number, got %s", WriteString(a[0]))
+	})
+	def("min", 1, -1, func(ctx *Ctx, a []Value) (Value, error) { return minMax(a, -1) })
+	def("max", 1, -1, func(ctx *Ctx, a []Value) (Value, error) { return minMax(a, 1) })
+	def("1+", 1, 1, func(ctx *Ctx, a []Value) (Value, error) { return numAdd(a[0], sexp.Fixnum(1)) })
+	def("1-", 1, 1, func(ctx *Ctx, a []Value) (Value, error) { return numSub(a[0], sexp.Fixnum(1)) })
+	def("add1", 1, 1, func(ctx *Ctx, a []Value) (Value, error) { return numAdd(a[0], sexp.Fixnum(1)) })
+	def("sub1", 1, 1, func(ctx *Ctx, a []Value) (Value, error) { return numSub(a[0], sexp.Fixnum(1)) })
+	def("expt", 2, 2, func(ctx *Ctx, a []Value) (Value, error) {
+		if x, ok := a[0].(sexp.Fixnum); ok {
+			if y, ok := a[1].(sexp.Fixnum); ok && y >= 0 {
+				var acc sexp.Fixnum = 1
+				for i := sexp.Fixnum(0); i < y; i++ {
+					acc *= x
+				}
+				return acc, nil
+			}
+		}
+		x, okx := toFloat(a[0])
+		y, oky := toFloat(a[1])
+		if !okx || !oky {
+			return nil, Errorf("expt: expected numbers")
+		}
+		return sexp.Flonum(math.Pow(x, y)), nil
+	})
+	def("sqrt", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
+		x, ok := toFloat(a[0])
+		if !ok {
+			return nil, Errorf("sqrt: expected number")
+		}
+		return sexp.Flonum(math.Sqrt(x)), nil
+	})
+	def("sin", 1, 1, flUnary(math.Sin))
+	def("cos", 1, 1, flUnary(math.Cos))
+	def("atan", 1, 1, flUnary(math.Atan))
+	def("exact->inexact", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
+		x, ok := toFloat(a[0])
+		if !ok {
+			return nil, Errorf("exact->inexact: expected number")
+		}
+		return sexp.Flonum(x), nil
+	})
+	def("inexact->exact", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
+		switch t := a[0].(type) {
+		case sexp.Fixnum:
+			return t, nil
+		case sexp.Flonum:
+			return sexp.Fixnum(int64(t)), nil
+		}
+		return nil, Errorf("inexact->exact: expected number")
+	})
+	def("truncate", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
+		switch t := a[0].(type) {
+		case sexp.Fixnum:
+			return t, nil
+		case sexp.Flonum:
+			return sexp.Flonum(math.Trunc(float64(t))), nil
+		}
+		return nil, Errorf("truncate: expected number")
+	})
+	def("floor", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
+		switch t := a[0].(type) {
+		case sexp.Fixnum:
+			return t, nil
+		case sexp.Flonum:
+			return sexp.Flonum(math.Floor(float64(t))), nil
+		}
+		return nil, Errorf("floor: expected number")
+	})
+	cmp := func(name string, ok func(c int) bool) {
+		def(name, 2, -1, func(ctx *Ctx, a []Value) (Value, error) {
+			for i := 0; i+1 < len(a); i++ {
+				c, err := numCompare(a[i], a[i+1])
+				if err != nil {
+					return nil, err
+				}
+				if c == 2 || !ok(c) {
+					return boolV(false), nil
+				}
+			}
+			return boolV(true), nil
+		})
+	}
+	cmp("=", func(c int) bool { return c == 0 })
+	cmp("<", func(c int) bool { return c == -1 })
+	cmp(">", func(c int) bool { return c == 1 })
+	cmp("<=", func(c int) bool { return c <= 0 })
+	cmp(">=", func(c int) bool { return c >= 0 })
+	def("logand", 2, 2, fxBinary("logand", func(x, y int64) int64 { return x & y }))
+	def("logor", 2, 2, fxBinary("logor", func(x, y int64) int64 { return x | y }))
+	def("logxor", 2, 2, fxBinary("logxor", func(x, y int64) int64 { return x ^ y }))
+	def("ash", 2, 2, func(ctx *Ctx, a []Value) (Value, error) {
+		x, err := wantFixnum("ash", a[0])
+		if err != nil {
+			return nil, err
+		}
+		y, err := wantFixnum("ash", a[1])
+		if err != nil {
+			return nil, err
+		}
+		if y >= 0 {
+			return x << uint(y), nil
+		}
+		return x >> uint(-y), nil
+	})
+}
+
+func flUnary(f func(float64) float64) Fn {
+	return func(ctx *Ctx, a []Value) (Value, error) {
+		x, ok := toFloat(a[0])
+		if !ok {
+			return nil, Errorf("expected number, got %s", WriteString(a[0]))
+		}
+		return sexp.Flonum(f(x)), nil
+	}
+}
+
+func fxBinary(name string, f func(x, y int64) int64) Fn {
+	return func(ctx *Ctx, a []Value) (Value, error) {
+		x, err := wantFixnum(name, a[0])
+		if err != nil {
+			return nil, err
+		}
+		y, err := wantFixnum(name, a[1])
+		if err != nil {
+			return nil, err
+		}
+		return sexp.Fixnum(f(int64(x), int64(y))), nil
+	}
+}
+
+func divide(a, b Value) (Value, error) {
+	if x, ok := a.(sexp.Fixnum); ok {
+		if y, ok := b.(sexp.Fixnum); ok {
+			if y == 0 {
+				return nil, Errorf("/: division by zero")
+			}
+			if x%y == 0 {
+				return x / y, nil
+			}
+			return sexp.Flonum(float64(x) / float64(y)), nil
+		}
+	}
+	x, okx := toFloat(a)
+	y, oky := toFloat(b)
+	if !okx || !oky {
+		return nil, Errorf("/: expected numbers")
+	}
+	return sexp.Flonum(x / y), nil
+}
+
+func minMax(a []Value, dir int) (Value, error) {
+	best := a[0]
+	for _, v := range a[1:] {
+		c, err := numCompare(v, best)
+		if err != nil {
+			return nil, err
+		}
+		if c == dir {
+			best = v
+		}
+	}
+	return best, nil
+}
+
+func registerVectors() {
+	def("vector", 0, -1, func(ctx *Ctx, a []Value) (Value, error) {
+		items := make([]sexp.Datum, len(a))
+		for i, v := range a {
+			items[i] = asDatum(v)
+		}
+		return &sexp.Vector{Items: items}, nil
+	})
+	def("make-vector", 1, 2, func(ctx *Ctx, a []Value) (Value, error) {
+		n, err := wantFixnum("make-vector", a[0])
+		if err != nil {
+			return nil, err
+		}
+		if n < 0 {
+			return nil, Errorf("make-vector: negative length %d", n)
+		}
+		fill := Value(sexp.Fixnum(0))
+		if len(a) == 2 {
+			fill = a[1]
+		}
+		items := make([]sexp.Datum, n)
+		for i := range items {
+			items[i] = asDatum(fill)
+		}
+		return &sexp.Vector{Items: items}, nil
+	})
+	def("vector-length", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
+		v, err := wantVector("vector-length", a[0])
+		if err != nil {
+			return nil, err
+		}
+		return sexp.Fixnum(len(v.Items)), nil
+	})
+	def("vector-ref", 2, 2, func(ctx *Ctx, a []Value) (Value, error) {
+		v, err := wantVector("vector-ref", a[0])
+		if err != nil {
+			return nil, err
+		}
+		i, err := wantFixnum("vector-ref", a[1])
+		if err != nil {
+			return nil, err
+		}
+		if i < 0 || int(i) >= len(v.Items) {
+			return nil, Errorf("vector-ref: index %d out of range for length %d", i, len(v.Items))
+		}
+		return Unwrap(v.Items[i]), nil
+	})
+	def("vector-set!", 3, 3, func(ctx *Ctx, a []Value) (Value, error) {
+		v, err := wantVector("vector-set!", a[0])
+		if err != nil {
+			return nil, err
+		}
+		i, err := wantFixnum("vector-set!", a[1])
+		if err != nil {
+			return nil, err
+		}
+		if i < 0 || int(i) >= len(v.Items) {
+			return nil, Errorf("vector-set!: index %d out of range for length %d", i, len(v.Items))
+		}
+		v.Items[i] = asDatum(a[2])
+		return Unspecified, nil
+	})
+	def("vector-fill!", 2, 2, func(ctx *Ctx, a []Value) (Value, error) {
+		v, err := wantVector("vector-fill!", a[0])
+		if err != nil {
+			return nil, err
+		}
+		for i := range v.Items {
+			v.Items[i] = asDatum(a[1])
+		}
+		return Unspecified, nil
+	})
+	def("list->vector", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
+		var items []sexp.Datum
+		v := a[0]
+		for {
+			switch t := v.(type) {
+			case sexp.Empty:
+				return &sexp.Vector{Items: items}, nil
+			case *sexp.Pair:
+				items = append(items, asDatum(t.Car))
+				v = t.Cdr
+			default:
+				return nil, Errorf("list->vector: improper list")
+			}
+		}
+	})
+	def("vector->list", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
+		v, err := wantVector("vector->list", a[0])
+		if err != nil {
+			return nil, err
+		}
+		var out sexp.Datum = sexp.Nil
+		for i := len(v.Items) - 1; i >= 0; i-- {
+			out = &sexp.Pair{Car: v.Items[i], Cdr: out}
+		}
+		return out, nil
+	})
+}
+
+// asDatum stores an arbitrary runtime value into a datum slot (pairs and
+// vectors hold sexp.Datum); non-datum values are wrapped.
+func asDatum(v Value) sexp.Datum {
+	if d, ok := v.(sexp.Datum); ok {
+		return d
+	}
+	return opaque{v}
+}
+
+// opaque lets closures and boxes live inside pairs/vectors.
+type opaque struct{ v Value }
+
+func (opaque) Sexp() {}
+func (o opaque) String() string {
+	return WriteString(o.v)
+}
+
+// Unwrap exposes the value stored in a datum slot.
+func Unwrap(d sexp.Datum) Value {
+	if o, ok := d.(opaque); ok {
+		return o.v
+	}
+	return d
+}
+
+func registerStrings() {
+	def("string-length", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
+		s, err := wantString("string-length", a[0])
+		if err != nil {
+			return nil, err
+		}
+		return sexp.Fixnum(len(s)), nil
+	})
+	def("string-ref", 2, 2, func(ctx *Ctx, a []Value) (Value, error) {
+		s, err := wantString("string-ref", a[0])
+		if err != nil {
+			return nil, err
+		}
+		i, err := wantFixnum("string-ref", a[1])
+		if err != nil {
+			return nil, err
+		}
+		if i < 0 || int(i) >= len(s) {
+			return nil, Errorf("string-ref: index %d out of range", i)
+		}
+		return sexp.Char(s[i]), nil
+	})
+	def("string-append", 0, -1, func(ctx *Ctx, a []Value) (Value, error) {
+		var b strings.Builder
+		for _, v := range a {
+			s, err := wantString("string-append", v)
+			if err != nil {
+				return nil, err
+			}
+			b.WriteString(string(s))
+		}
+		return sexp.Str(b.String()), nil
+	})
+	def("substring", 3, 3, func(ctx *Ctx, a []Value) (Value, error) {
+		s, err := wantString("substring", a[0])
+		if err != nil {
+			return nil, err
+		}
+		i, err := wantFixnum("substring", a[1])
+		if err != nil {
+			return nil, err
+		}
+		j, err := wantFixnum("substring", a[2])
+		if err != nil {
+			return nil, err
+		}
+		if i < 0 || j < i || int(j) > len(s) {
+			return nil, Errorf("substring: bad range [%d,%d) for length %d", i, j, len(s))
+		}
+		return s[i:j], nil
+	})
+	def("string=?", 2, 2, func(ctx *Ctx, a []Value) (Value, error) {
+		x, err := wantString("string=?", a[0])
+		if err != nil {
+			return nil, err
+		}
+		y, err := wantString("string=?", a[1])
+		if err != nil {
+			return nil, err
+		}
+		return boolV(x == y), nil
+	})
+	def("string<?", 2, 2, func(ctx *Ctx, a []Value) (Value, error) {
+		x, err := wantString("string<?", a[0])
+		if err != nil {
+			return nil, err
+		}
+		y, err := wantString("string<?", a[1])
+		if err != nil {
+			return nil, err
+		}
+		return boolV(x < y), nil
+	})
+	def("symbol->string", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
+		s, ok := a[0].(sexp.Symbol)
+		if !ok {
+			return nil, Errorf("symbol->string: expected symbol")
+		}
+		return sexp.Str(s), nil
+	})
+	def("string->symbol", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
+		s, err := wantString("string->symbol", a[0])
+		if err != nil {
+			return nil, err
+		}
+		return sexp.Symbol(s), nil
+	})
+	def("number->string", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
+		switch t := a[0].(type) {
+		case sexp.Fixnum, sexp.Flonum:
+			return sexp.Str(t.(sexp.Datum).String()), nil
+		}
+		return nil, Errorf("number->string: expected number")
+	})
+	def("string->number", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
+		s, err := wantString("string->number", a[0])
+		if err != nil {
+			return nil, err
+		}
+		if n, err := strconv.ParseInt(string(s), 10, 64); err == nil {
+			return sexp.Fixnum(n), nil
+		}
+		if f, err := strconv.ParseFloat(string(s), 64); err == nil {
+			return sexp.Flonum(f), nil
+		}
+		return boolV(false), nil
+	})
+	def("string->list", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
+		s, err := wantString("string->list", a[0])
+		if err != nil {
+			return nil, err
+		}
+		var out sexp.Datum = sexp.Nil
+		for i := len(s) - 1; i >= 0; i-- {
+			out = &sexp.Pair{Car: sexp.Char(s[i]), Cdr: out}
+		}
+		return out, nil
+	})
+	def("list->string", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
+		var b strings.Builder
+		v := a[0]
+		for {
+			switch t := v.(type) {
+			case sexp.Empty:
+				return sexp.Str(b.String()), nil
+			case *sexp.Pair:
+				c, ok := t.Car.(sexp.Char)
+				if !ok {
+					return nil, Errorf("list->string: expected char, got %s", WriteString(t.Car))
+				}
+				b.WriteRune(rune(c))
+				v = t.Cdr
+			default:
+				return nil, Errorf("list->string: improper list")
+			}
+		}
+	})
+}
+
+func registerChars() {
+	def("char->integer", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
+		c, ok := a[0].(sexp.Char)
+		if !ok {
+			return nil, Errorf("char->integer: expected char")
+		}
+		return sexp.Fixnum(c), nil
+	})
+	def("integer->char", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
+		n, err := wantFixnum("integer->char", a[0])
+		if err != nil {
+			return nil, err
+		}
+		return sexp.Char(rune(n)), nil
+	})
+	charCmp := func(name string, ok func(c int) bool) {
+		def(name, 2, 2, func(ctx *Ctx, a []Value) (Value, error) {
+			x, okx := a[0].(sexp.Char)
+			y, oky := a[1].(sexp.Char)
+			if !okx || !oky {
+				return nil, Errorf("%s: expected chars", name)
+			}
+			c := 0
+			if x < y {
+				c = -1
+			} else if x > y {
+				c = 1
+			}
+			return boolV(ok(c)), nil
+		})
+	}
+	charCmp("char=?", func(c int) bool { return c == 0 })
+	charCmp("char<?", func(c int) bool { return c == -1 })
+	charCmp("char>?", func(c int) bool { return c == 1 })
+	charCmp("char<=?", func(c int) bool { return c <= 0 })
+	charCmp("char>=?", func(c int) bool { return c >= 0 })
+	def("char-upcase", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
+		c, ok := a[0].(sexp.Char)
+		if !ok {
+			return nil, Errorf("char-upcase: expected char")
+		}
+		if c >= 'a' && c <= 'z' {
+			return c - 32, nil
+		}
+		return c, nil
+	})
+	def("char-alphabetic?", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
+		c, ok := a[0].(sexp.Char)
+		if !ok {
+			return nil, Errorf("char-alphabetic?: expected char")
+		}
+		return boolV((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')), nil
+	})
+	def("char-numeric?", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
+		c, ok := a[0].(sexp.Char)
+		if !ok {
+			return nil, Errorf("char-numeric?: expected char")
+		}
+		return boolV(c >= '0' && c <= '9'), nil
+	})
+}
+
+func registerBoxes() {
+	def("box", 1, 1, func(ctx *Ctx, a []Value) (Value, error) { return &Box{V: a[0]}, nil })
+	def("unbox", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
+		b, ok := a[0].(*Box)
+		if !ok {
+			return nil, Errorf("unbox: expected box, got %s", WriteString(a[0]))
+		}
+		return b.V, nil
+	})
+	def("set-box!", 2, 2, func(ctx *Ctx, a []Value) (Value, error) {
+		b, ok := a[0].(*Box)
+		if !ok {
+			return nil, Errorf("set-box!: expected box, got %s", WriteString(a[0]))
+		}
+		b.V = a[1]
+		return Unspecified, nil
+	})
+}
+
+func registerIO() {
+	def("display", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
+		if ctx.Out != nil {
+			fmt.Fprint(ctx.Out, DisplayString(a[0]))
+		}
+		return Unspecified, nil
+	})
+	def("write", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
+		if ctx.Out != nil {
+			fmt.Fprint(ctx.Out, WriteString(a[0]))
+		}
+		return Unspecified, nil
+	})
+	def("newline", 0, 0, func(ctx *Ctx, a []Value) (Value, error) {
+		if ctx.Out != nil {
+			fmt.Fprintln(ctx.Out)
+		}
+		return Unspecified, nil
+	})
+	def("write-char", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
+		c, ok := a[0].(sexp.Char)
+		if !ok {
+			return nil, Errorf("write-char: expected char")
+		}
+		if ctx.Out != nil {
+			fmt.Fprint(ctx.Out, string(rune(c)))
+		}
+		return Unspecified, nil
+	})
+}
+
+func registerMisc() {
+	def("error", 1, -1, func(ctx *Ctx, a []Value) (Value, error) {
+		msg := DisplayString(a[0])
+		return nil, &SchemeError{Msg: msg, Irritants: a[1:]}
+	})
+	def("void", 0, 0, func(ctx *Ctx, a []Value) (Value, error) { return Unspecified, nil })
+	def("gensym", 0, 0, func(ctx *Ctx, a []Value) (Value, error) {
+		ctx.gensymCnt++
+		return sexp.Symbol(fmt.Sprintf("g%d", ctx.gensymCnt)), nil
+	})
+}

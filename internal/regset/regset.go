@@ -1,0 +1,110 @@
+// Package regset implements register sets as bit vectors, following the
+// paper's §3.1: "Liveness information is collected using a bit vector for
+// the registers, implemented as an n-bit integer. Thus, the union
+// operation is logical or, the intersection operation is logical and, and
+// creating the singleton {r} is a logical shift left of 1 for r bits."
+//
+// The allocator never needs more than 64 registers (the paper uses n on
+// the order of a dozen), so a uint64 suffices.
+package regset
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// Set is a set of register numbers in [0, 64).
+type Set uint64
+
+// MaxRegisters is the largest register number (exclusive) representable.
+const MaxRegisters = 64
+
+// Empty is the empty register set.
+const Empty Set = 0
+
+// Single returns the singleton {r}.
+func Single(r int) Set { return 1 << uint(r) }
+
+// Of builds a set from the listed registers.
+func Of(regs ...int) Set {
+	var s Set
+	for _, r := range regs {
+		s |= Single(r)
+	}
+	return s
+}
+
+// Universe returns the set of all registers 0..n-1. It is the paper's R,
+// "the set of all registers... the identity for intersection", used so
+// that impossible control paths do not restrict intersections.
+func Universe(n int) Set {
+	if n >= MaxRegisters {
+		return ^Set(0)
+	}
+	return (1 << uint(n)) - 1
+}
+
+// Union returns s ∪ t.
+func (s Set) Union(t Set) Set { return s | t }
+
+// Intersect returns s ∩ t.
+func (s Set) Intersect(t Set) Set { return s & t }
+
+// Minus returns s \ t.
+func (s Set) Minus(t Set) Set { return s &^ t }
+
+// Add returns s ∪ {r}.
+func (s Set) Add(r int) Set { return s | Single(r) }
+
+// Remove returns s \ {r}.
+func (s Set) Remove(r int) Set { return s &^ Single(r) }
+
+// Has reports whether r ∈ s.
+func (s Set) Has(r int) bool { return s&Single(r) != 0 }
+
+// IsEmpty reports whether s is empty.
+func (s Set) IsEmpty() bool { return s == 0 }
+
+// SubsetOf reports whether s ⊆ t.
+func (s Set) SubsetOf(t Set) bool { return s&^t == 0 }
+
+// Len returns |s|.
+func (s Set) Len() int { return bits.OnesCount64(uint64(s)) }
+
+// Regs returns the members of s in increasing order.
+func (s Set) Regs() []int {
+	out := make([]int, 0, s.Len())
+	for v := uint64(s); v != 0; {
+		r := bits.TrailingZeros64(v)
+		out = append(out, r)
+		v &^= 1 << uint(r)
+	}
+	return out
+}
+
+// ForEach calls f for each register in s in increasing order.
+func (s Set) ForEach(f func(r int)) {
+	for v := uint64(s); v != 0; {
+		r := bits.TrailingZeros64(v)
+		f(r)
+		v &^= 1 << uint(r)
+	}
+}
+
+// String renders the set as {r0 r3 ...} using raw register numbers.
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(r int) {
+		if !first {
+			b.WriteByte(' ')
+		}
+		first = false
+		b.WriteString("r")
+		b.WriteString(strconv.Itoa(r))
+	})
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,101 @@
+package regset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBasics(t *testing.T) {
+	s := Of(1, 3, 5)
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if !s.Has(3) || s.Has(2) {
+		t.Error("Has misbehaves")
+	}
+	s = s.Add(2).Remove(3)
+	want := Of(1, 2, 5)
+	if s != want {
+		t.Errorf("got %s, want %s", s, want)
+	}
+}
+
+func TestUniverse(t *testing.T) {
+	if Universe(0) != Empty {
+		t.Error("Universe(0) not empty")
+	}
+	u := Universe(8)
+	if u.Len() != 8 || !u.Has(7) || u.Has(8) {
+		t.Errorf("Universe(8) = %s", u)
+	}
+	if Universe(64).Len() != 64 {
+		t.Error("Universe(64) wrong")
+	}
+}
+
+func TestRegsRoundTrip(t *testing.T) {
+	s := Of(0, 7, 31, 63)
+	regs := s.Regs()
+	if len(regs) != 4 || regs[0] != 0 || regs[3] != 63 {
+		t.Errorf("Regs = %v", regs)
+	}
+	if Of(regs...) != s {
+		t.Error("Of(Regs(s)) != s")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := Of(2, 4).String(); got != "{r2 r4}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := Empty.String(); got != "{}" {
+		t.Errorf("String(empty) = %q", got)
+	}
+}
+
+// Property: the boolean algebra laws that the save-placement algorithms
+// rely on hold for Set.
+func TestAlgebraProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+
+	// De Morgan-ish: (a ∪ b) ∩ c == (a ∩ c) ∪ (b ∩ c)
+	distributes := func(a, b, c Set) bool {
+		return a.Union(b).Intersect(c) == a.Intersect(c).Union(b.Intersect(c))
+	}
+	if err := quick.Check(distributes, cfg); err != nil {
+		t.Error(err)
+	}
+
+	// R is the identity for intersection within the universe.
+	identity := func(a uint8) bool {
+		s := Set(a) // subset of Universe(8)
+		return s.Intersect(Universe(8)) == s
+	}
+	if err := quick.Check(identity, cfg); err != nil {
+		t.Error(err)
+	}
+
+	// Minus then union restores a superset relationship.
+	minus := func(a, b Set) bool {
+		return a.Minus(b).Intersect(b).IsEmpty() && a.Minus(b).Union(a.Intersect(b)) == a
+	}
+	if err := quick.Check(minus, cfg); err != nil {
+		t.Error(err)
+	}
+
+	// Subset relations.
+	subset := func(a, b Set) bool {
+		return a.Intersect(b).SubsetOf(a) && a.SubsetOf(a.Union(b))
+	}
+	if err := quick.Check(subset, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	var seen []int
+	Of(9, 1, 4).ForEach(func(r int) { seen = append(seen, r) })
+	if len(seen) != 3 || seen[0] != 1 || seen[1] != 4 || seen[2] != 9 {
+		t.Errorf("ForEach order = %v", seen)
+	}
+}

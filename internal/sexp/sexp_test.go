@@ -1,0 +1,213 @@
+package sexp
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustRead(t *testing.T, src string) Datum {
+	t.Helper()
+	d, err := ReadOne(src)
+	if err != nil {
+		t.Fatalf("ReadOne(%q): %v", src, err)
+	}
+	return d
+}
+
+func TestReadAtoms(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Datum
+	}{
+		{"foo", Symbol("foo")},
+		{"set!", Symbol("set!")},
+		{"+", Symbol("+")},
+		{"-", Symbol("-")},
+		{"...", Symbol("...")},
+		{"list->vector", Symbol("list->vector")},
+		{"42", Fixnum(42)},
+		{"-17", Fixnum(-17)},
+		{"+9", Fixnum(9)},
+		{"3.5", Flonum(3.5)},
+		{"-0.25", Flonum(-0.25)},
+		{"1e3", Flonum(1000)},
+		{"#t", Boolean(true)},
+		{"#f", Boolean(false)},
+		{`"hi"`, Str("hi")},
+		{`#\a`, Char('a')},
+		{`#\space`, Char(' ')},
+		{`#\newline`, Char('\n')},
+	}
+	for _, c := range cases {
+		got := mustRead(t, c.src)
+		if got != c.want {
+			t.Errorf("ReadOne(%q) = %#v, want %#v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestReadLists(t *testing.T) {
+	d := mustRead(t, "(a (b c) d)")
+	want := List(Symbol("a"), List(Symbol("b"), Symbol("c")), Symbol("d"))
+	if !Equal(d, want) {
+		t.Errorf("got %s, want %s", d, want)
+	}
+}
+
+func TestReadBrackets(t *testing.T) {
+	d := mustRead(t, "(let ([x 1] [y 2]) x)")
+	if Length(d) != 3 {
+		t.Fatalf("got %s", d)
+	}
+}
+
+func TestMismatchedBrackets(t *testing.T) {
+	if _, err := ReadOne("(a b]"); err == nil {
+		t.Error("expected error for (a b]")
+	}
+}
+
+func TestReadDotted(t *testing.T) {
+	d := mustRead(t, "(a . b)")
+	p, ok := d.(*Pair)
+	if !ok || p.Car != Symbol("a") || p.Cdr != Symbol("b") {
+		t.Errorf("got %s", d)
+	}
+	d = mustRead(t, "(a b . c)")
+	if d.String() != "(a b . c)" {
+		t.Errorf("got %s", d)
+	}
+}
+
+func TestReadQuote(t *testing.T) {
+	d := mustRead(t, "'(1 2)")
+	want := List(Symbol("quote"), List(Fixnum(1), Fixnum(2)))
+	if !Equal(d, want) {
+		t.Errorf("got %s, want %s", d, want)
+	}
+	d = mustRead(t, "`(a ,b ,@c)")
+	if d.String() != "(quasiquote (a (unquote b) (unquote-splicing c)))" {
+		t.Errorf("got %s", d)
+	}
+}
+
+func TestReadVector(t *testing.T) {
+	d := mustRead(t, "#(1 2 3)")
+	v, ok := d.(*Vector)
+	if !ok || len(v.Items) != 3 || v.Items[1] != Fixnum(2) {
+		t.Errorf("got %s", d)
+	}
+}
+
+func TestReadComments(t *testing.T) {
+	ds, err := ReadAll("; line comment\n(a) #| block #| nested |# comment |# (b)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 2 {
+		t.Fatalf("got %d datums: %v", len(ds), ds)
+	}
+	if !Equal(ds[0], List(Symbol("a"))) || !Equal(ds[1], List(Symbol("b"))) {
+		t.Errorf("got %v", ds)
+	}
+}
+
+func TestReadEmptyAndEOF(t *testing.T) {
+	ds, err := ReadAll("   ; nothing\n")
+	if err != nil || len(ds) != 0 {
+		t.Errorf("got %v, %v", ds, err)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	bad := []string{"(a", `"unterminated`, "#z", ")", "(a . )", "(a . b c)"}
+	for _, src := range bad {
+		if _, err := ReadOne(src); err == nil {
+			t.Errorf("ReadOne(%q): expected error", src)
+		}
+	}
+}
+
+func TestSyntaxErrorPosition(t *testing.T) {
+	_, err := ReadOne("(a\n  ,)")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("expected *SyntaxError, got %T: %v", err, err)
+	}
+	if se.Line != 2 {
+		t.Errorf("line = %d, want 2", se.Line)
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	srcs := []string{
+		"(define (f x) (+ x 1))",
+		"(a . b)",
+		"#(1 #t #\\a \"s\")",
+		"(quote (1 2 3))",
+		"(-1 2.5 () (()))",
+	}
+	for _, src := range srcs {
+		d1 := mustRead(t, src)
+		d2 := mustRead(t, d1.String())
+		if !Equal(d1, d2) {
+			t.Errorf("round trip failed for %q: %s vs %s", src, d1, d2)
+		}
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	d := mustRead(t, `"a\nb\t\"c\\"`)
+	if d != Str("a\nb\t\"c\\") {
+		t.Errorf("got %#v", d)
+	}
+	// And writing it back produces a readable form.
+	d2 := mustRead(t, d.String())
+	if d != d2 {
+		t.Errorf("round trip: %#v vs %#v", d, d2)
+	}
+}
+
+func TestListHelpers(t *testing.T) {
+	lst := List(Fixnum(1), Fixnum(2), Fixnum(3))
+	if !IsList(lst) {
+		t.Error("IsList(list) = false")
+	}
+	if IsList(Cons(Fixnum(1), Fixnum(2))) {
+		t.Error("IsList(pair) = true")
+	}
+	items, err := ListItems(lst)
+	if err != nil || len(items) != 3 {
+		t.Errorf("ListItems: %v, %v", items, err)
+	}
+	if _, err := ListItems(Cons(Fixnum(1), Fixnum(2))); err == nil {
+		t.Error("ListItems(improper): expected error")
+	}
+	if Length(lst) != 3 || Length(Nil) != 0 || Length(Symbol("x")) != -1 {
+		t.Error("Length misbehaves")
+	}
+}
+
+func TestFlonumPrinting(t *testing.T) {
+	if Flonum(1).String() != "1." {
+		t.Errorf("Flonum(1) prints as %s", Flonum(1))
+	}
+	if !strings.Contains(Flonum(1.5).String(), "1.5") {
+		t.Errorf("Flonum(1.5) prints as %s", Flonum(1.5))
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := mustRead(t, "(1 (2 #(3 4)) \"x\")")
+	b := mustRead(t, "(1 (2 #(3 4)) \"x\")")
+	c := mustRead(t, "(1 (2 #(3 5)) \"x\")")
+	if !Equal(a, b) {
+		t.Error("Equal(a, b) = false")
+	}
+	if Equal(a, c) {
+		t.Error("Equal(a, c) = true")
+	}
+}

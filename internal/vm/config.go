@@ -1,0 +1,118 @@
+// Package vm implements the register-machine virtual machine that
+// compiled code runs on. It plays the role of the paper's Alpha
+// hardware: it executes the code generator's instructions, counts every
+// stack reference (the paper's primary metric, Table 3), and charges
+// cycles under a simple memory model with load-use stalls so that the
+// eager-vs-lazy restore comparison of §2.2 and the run-time speedups of
+// §4 can be measured in simulation.
+package vm
+
+import "fmt"
+
+// Config fixes the register-file layout. Mirroring §3: "We allocate n
+// registers for use by our register allocator. Two of these are used for
+// the return address and closure pointer. For some fixed c ≤ n−2, the
+// first c actual parameters of all procedure calls are passed via these
+// registers; the remaining parameters are passed on the stack. We also
+// fix a number l ≤ n−2 of these registers to be used for user variables
+// and compiler-generated temporaries."
+//
+// Register numbering: 0 = ret (return address), 1 = cp (closure
+// pointer), 2 = rv (return value), 3..3+ArgRegs-1 = argument registers,
+// then UserRegs user-variable registers, then ScratchRegs expression
+// temporaries (the "local register allocation performed by the code
+// generator" of the paper's baseline).
+type Config struct {
+	// ArgRegs is c, the number of argument registers (paper default 6;
+	// the Table 3 baseline uses 0).
+	ArgRegs int
+	// UserRegs is l, the number of user-variable registers.
+	UserRegs int
+	// ScratchRegs is the number of expression-evaluation temporaries
+	// (always present; local register allocation exists even in the
+	// baseline).
+	ScratchRegs int
+	// CalleeSaveRegs configures the §2.4/Table 5 study: registers
+	// beyond the caller-save set that survive calls and that the callee
+	// must save/restore if it uses them.
+	CalleeSaveRegs int
+}
+
+// DefaultConfig is the paper's main configuration: six argument
+// registers and six user registers.
+func DefaultConfig() Config {
+	return Config{ArgRegs: 6, UserRegs: 6, ScratchRegs: 8}
+}
+
+// BaselineConfig is the Table 3 baseline: no argument registers and no
+// user registers, so all parameters and user variables live on the
+// stack.
+func BaselineConfig() Config {
+	return Config{ArgRegs: 0, UserRegs: 0, ScratchRegs: 8}
+}
+
+// Register indices.
+const (
+	RegRet = 0
+	RegCP  = 1
+	RegRV  = 2
+	// regFixed is the number of dedicated registers before the argument
+	// registers.
+	regFixed = 3
+)
+
+// ArgReg returns the register holding the i-th register-passed argument.
+func (c Config) ArgReg(i int) int { return regFixed + i }
+
+// UserReg returns the i-th user-variable register.
+func (c Config) UserReg(i int) int { return regFixed + c.ArgRegs + i }
+
+// ScratchReg returns the i-th scratch register.
+func (c Config) ScratchReg(i int) int { return regFixed + c.ArgRegs + c.UserRegs + i }
+
+// CalleeSaveReg returns the i-th callee-save register.
+func (c Config) CalleeSaveReg(i int) int {
+	return regFixed + c.ArgRegs + c.UserRegs + c.ScratchRegs + i
+}
+
+// NumRegs is the register-file size.
+func (c Config) NumRegs() int {
+	return regFixed + c.ArgRegs + c.UserRegs + c.ScratchRegs + c.CalleeSaveRegs
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.ArgRegs < 0 || c.UserRegs < 0 || c.ScratchRegs < 1 || c.CalleeSaveRegs < 0 {
+		return fmt.Errorf("vm: invalid register configuration %+v", c)
+	}
+	if c.NumRegs() > 64 {
+		return fmt.Errorf("vm: register file too large (%d > 64)", c.NumRegs())
+	}
+	return nil
+}
+
+// CostModel charges cycles for executed instructions. The numbers are a
+// stand-in for the paper's Alpha 3000/600: every instruction costs one
+// cycle, stack traffic pays a memory penalty, and a register consumed
+// too soon after the load that produced it stalls the pipeline — the
+// effect that makes eager restores competitive with lazy restores
+// (§2.2: "the reduced effect of memory latency offsets the cost of
+// unnecessary restores").
+type CostModel struct {
+	// MemPenalty is the extra cost of a stack read or write beyond the
+	// instruction's base cycle.
+	MemPenalty int64
+	// LoadLatency is the number of cycles after a stack load before the
+	// destination register is ready; consuming it earlier stalls.
+	LoadLatency int64
+	// BranchMispredict is the penalty for a conditional branch that goes
+	// against its static prediction (0 disables the §6 branch-prediction
+	// study).
+	BranchMispredict int64
+}
+
+// DefaultCostModel approximates an early-1990s RISC: cache-hit loads a
+// few cycles, stores buffered but accounted, mispredicts modest.
+func DefaultCostModel() CostModel {
+	return CostModel{MemPenalty: 2, LoadLatency: 3, BranchMispredict: 0}
+}

@@ -1,0 +1,110 @@
+package vm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Counters accumulates the measurements the paper's evaluation needs:
+// stack references (Table 3), cycle counts under the cost model (the
+// "performance" column), and the activation classification of Table 2.
+type Counters struct {
+	// Instructions executed.
+	Instructions int64
+	// Cycles under the cost model (includes memory penalties and
+	// stalls).
+	Cycles int64
+	// StallCycles is the load-use stall portion of Cycles.
+	StallCycles int64
+
+	// StackReads/StackWrites count every frame-slot access; ByKind
+	// breaks them down by purpose.
+	StackReads   int64
+	StackWrites  int64
+	ReadsByKind  [6]int64
+	WritesByKind [6]int64
+
+	// Calls counts non-tail procedure calls (OpCall/OpCallCC, including
+	// primitives and continuations invoked as values); TailCalls counts
+	// tail transfers; PrimInstrs counts open-coded primitive
+	// applications (not calls).
+	Calls      int64
+	TailCalls  int64
+	PrimInstrs int64
+
+	// Activations is the total number of procedure activations
+	// (non-tail calls plus tail transfers).
+	Activations int64
+
+	// Table 2 classification, counted when an activation finishes:
+	SyntacticLeaves      int64 // procedures with no calls in their body
+	NonSyntacticLeaves   int64 // had calls in the body but made none
+	NonSyntacticInternal int64 // had call-free paths but made calls
+	SyntacticInternal    int64 // no call-free paths (always call)
+
+	// Branches and mispredictions (§6 extension). PredictedBranches
+	// counts executions of statically annotated branches.
+	Branches          int64
+	PredictedBranches int64
+	Mispredicts       int64
+
+	// PerProc[i] aggregates per-procedure activation statistics.
+	PerProc []ProcCounters
+}
+
+// ProcCounters is the per-procedure activation breakdown.
+type ProcCounters struct {
+	Name        string
+	Activations int64
+	MadeCalls   int64 // activations that performed at least one call
+}
+
+// StackRefs is total stack traffic, the paper's headline metric.
+func (c *Counters) StackRefs() int64 { return c.StackReads + c.StackWrites }
+
+// ClassifiedActivations is the number of activations that ran to
+// completion and were classified.
+func (c *Counters) ClassifiedActivations() int64 {
+	return c.SyntacticLeaves + c.NonSyntacticLeaves + c.NonSyntacticInternal + c.SyntacticInternal
+}
+
+// EffectiveLeaves is the paper's headline statistic: activations that
+// made no calls at run time.
+func (c *Counters) EffectiveLeaves() int64 {
+	return c.SyntacticLeaves + c.NonSyntacticLeaves
+}
+
+// Breakdown returns the Table 2 fractions (syntactic leaf,
+// non-syntactic leaf, non-syntactic internal, syntactic internal).
+func (c *Counters) Breakdown() (sl, nsl, nsi, si float64) {
+	total := float64(c.ClassifiedActivations())
+	if total == 0 {
+		return 0, 0, 0, 0
+	}
+	return float64(c.SyntacticLeaves) / total,
+		float64(c.NonSyntacticLeaves) / total,
+		float64(c.NonSyntacticInternal) / total,
+		float64(c.SyntacticInternal) / total
+}
+
+// String renders a human-readable summary.
+func (c *Counters) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "instructions: %d\n", c.Instructions)
+	fmt.Fprintf(&b, "cycles:       %d (stalls %d)\n", c.Cycles, c.StallCycles)
+	fmt.Fprintf(&b, "stack refs:   %d (%d reads, %d writes)\n", c.StackRefs(), c.StackReads, c.StackWrites)
+	for k := SlotKind(0); k < 6; k++ {
+		r, w := c.ReadsByKind[k], c.WritesByKind[k]
+		if r+w > 0 {
+			fmt.Fprintf(&b, "  %-8s %d reads, %d writes\n", k.String()+":", r, w)
+		}
+	}
+	fmt.Fprintf(&b, "calls:        %d non-tail, %d tail\n", c.Calls, c.TailCalls)
+	sl, nsl, nsi, si := c.Breakdown()
+	fmt.Fprintf(&b, "activations:  %d (%.1f%% syn leaf, %.1f%% eff leaf, %.1f%% non-syn internal, %.1f%% syn internal)\n",
+		c.Activations, sl*100, (sl+nsl)*100, nsi*100, si*100)
+	if c.Branches > 0 && c.Mispredicts > 0 {
+		fmt.Fprintf(&b, "branches:     %d (%d mispredicted)\n", c.Branches, c.Mispredicts)
+	}
+	return b.String()
+}

@@ -1,0 +1,606 @@
+package vm
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/prim"
+	"repro/internal/sexp"
+)
+
+// Machine executes a compiled Program.
+type Machine struct {
+	prog  *Program
+	cfg   Config
+	cost  CostModel
+	regs  []prim.Value
+	stack []prim.Value
+	// readyAt[r] is the cycle at which register r becomes usable after a
+	// load (load-use stall modeling).
+	readyAt []int64
+	globals []prim.Value
+	fp      int
+	pc      int
+	argc    int
+	acts    []actEntry
+	ctx     *prim.Ctx
+	argbuf  []prim.Value
+
+	// Counters accumulates all measurements.
+	Counters Counters
+	// MaxSteps bounds execution (0 = unlimited).
+	MaxSteps int64
+	// ValidateRestores poisons caller-save registers at every call
+	// boundary; reading a poisoned register traps. It turns a missing
+	// restore into a hard error instead of silent wrong answers.
+	ValidateRestores bool
+}
+
+// New creates a machine for prog; out receives display/write output (nil
+// discards it).
+func New(prog *Program, out io.Writer) *Machine {
+	m := &Machine{
+		prog:    prog,
+		cfg:     prog.Config,
+		cost:    DefaultCostModel(),
+		regs:    make([]prim.Value, prog.Config.NumRegs()),
+		readyAt: make([]int64, prog.Config.NumRegs()),
+		stack:   make([]prim.Value, 1024),
+		globals: make([]prim.Value, len(prog.GlobalNames)),
+		ctx:     &prim.Ctx{Out: out},
+	}
+	for i, d := range prog.PrimGlobals {
+		if d != nil {
+			m.globals[i] = &PrimValue{Def: d}
+		}
+	}
+	m.Counters.PerProc = make([]ProcCounters, len(prog.Procs))
+	for i, p := range prog.Procs {
+		m.Counters.PerProc[i].Name = p.Name
+	}
+	return m
+}
+
+// SetCostModel overrides the default cost model.
+func (m *Machine) SetCostModel(c CostModel) { m.cost = c }
+
+// RuntimeError is a trap raised during execution.
+type RuntimeError struct {
+	PC  int
+	Msg string
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("vm: runtime error at %d: %s", e.PC, e.Msg)
+}
+
+func (m *Machine) errf(format string, args ...interface{}) error {
+	return &RuntimeError{PC: m.pc, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Run executes the program and returns its result value.
+func (m *Machine) Run() (prim.Value, error) {
+	main := m.prog.Procs[m.prog.MainIndex]
+	m.regs[RegCP] = &Closure{Proc: m.prog.MainIndex}
+	m.regs[RegRet] = RetAddr{PC: 0, FP: 0} // code[0] is halt
+	m.pc = main.Entry
+	m.fp = 0
+	m.argc = 0
+	m.acts = append(m.acts[:0], actEntry{proc: int32(m.prog.MainIndex)})
+	m.Counters.Activations++
+	m.Counters.PerProc[m.prog.MainIndex].Activations++
+	return m.loop()
+}
+
+func (m *Machine) loop() (prim.Value, error) {
+	c := &m.Counters
+	for {
+		if m.pc < 0 || m.pc >= len(m.prog.Code) {
+			return nil, m.errf("pc out of range")
+		}
+		in := &m.prog.Code[m.pc]
+		c.Instructions++
+		c.Cycles++
+		if m.MaxSteps > 0 && c.Instructions > m.MaxSteps {
+			return nil, m.errf("step budget exceeded")
+		}
+		switch in.Op {
+		case OpHalt:
+			v, err := m.readReg(RegRV)
+			if err != nil {
+				return nil, err
+			}
+			return v, nil
+
+		case OpEntry:
+			if m.argc != in.A {
+				name := m.prog.Procs[m.actTopProc()].Name
+				return nil, m.errf("%s expects %d arguments, got %d", name, in.A, m.argc)
+			}
+			m.ensureStack(m.fp + in.B + 16)
+			m.pc++
+
+		case OpMove:
+			v, err := m.readReg(in.B)
+			if err != nil {
+				return nil, err
+			}
+			m.writeReg(in.A, v)
+			m.pc++
+
+		case OpLoadConst:
+			v := m.prog.Consts[in.B]
+			if m.prog.ConstMutable[in.B] {
+				v = copyConst(v)
+			}
+			m.writeReg(in.A, v)
+			m.pc++
+
+		case OpLoadGlobal:
+			v := m.globals[in.B]
+			if v == nil {
+				return nil, m.errf("unbound global %s", m.prog.GlobalNames[in.B])
+			}
+			m.writeReg(in.A, v)
+			m.pc++
+
+		case OpStoreGlobal:
+			v, err := m.readReg(in.A)
+			if err != nil {
+				return nil, err
+			}
+			m.globals[in.B] = v
+			m.pc++
+
+		case OpLoadSlot:
+			v, err := m.loadSlot(m.fp+in.B, in.Kind)
+			if err != nil {
+				return nil, err
+			}
+			m.regs[in.A] = v
+			m.readyAt[in.A] = c.Cycles + m.cost.LoadLatency
+			m.pc++
+
+		case OpStoreSlot:
+			v, err := m.readReg(in.A)
+			if err != nil {
+				return nil, err
+			}
+			m.storeSlot(m.fp+in.B, v, in.Kind)
+			m.pc++
+
+		case OpStoreOut:
+			v, err := m.readReg(in.A)
+			if err != nil {
+				return nil, err
+			}
+			m.storeSlot(m.fp+in.C+in.B, v, in.Kind)
+			m.pc++
+
+		case OpPrim:
+			if err := m.doPrim(in); err != nil {
+				return nil, err
+			}
+			m.pc++
+
+		case OpClosure:
+			free := make([]prim.Value, len(in.Regs))
+			for i, r := range in.Regs {
+				v, err := m.readOperand(r)
+				if err != nil {
+					return nil, err
+				}
+				free[i] = v
+			}
+			m.writeReg(in.A, &Closure{Proc: in.B, Free: free})
+			m.pc++
+
+		case OpClosurePatch:
+			cv, err := m.readReg(in.A)
+			if err != nil {
+				return nil, err
+			}
+			cl, ok := cv.(*Closure)
+			if !ok {
+				return nil, m.errf("closure-patch of non-closure")
+			}
+			v, err := m.readReg(in.C)
+			if err != nil {
+				return nil, err
+			}
+			cl.Free[in.B] = v
+			m.pc++
+
+		case OpFreeRef:
+			cpv, err := m.readReg(RegCP)
+			if err != nil {
+				return nil, err
+			}
+			cl, ok := cpv.(*Closure)
+			if !ok {
+				return nil, m.errf("free-ref with non-closure cp")
+			}
+			m.writeReg(in.A, cl.Free[in.B])
+			m.pc++
+
+		case OpJump:
+			m.pc = in.A
+
+		case OpBranchFalse:
+			v, err := m.readReg(in.A)
+			if err != nil {
+				return nil, err
+			}
+			taken := !prim.Truthy(v)
+			c.Branches++
+			if in.Predict != 0 {
+				c.PredictedBranches++
+				predictedTaken := in.Predict > 0
+				if taken != predictedTaken {
+					c.Mispredicts++
+					c.Cycles += m.cost.BranchMispredict
+				}
+			}
+			if taken {
+				m.pc = in.B
+			} else {
+				m.pc++
+			}
+
+		case OpCall:
+			if err := m.call(in.A, m.fp+in.B, false); err != nil {
+				return nil, err
+			}
+
+		case OpTailCall:
+			if err := m.call(in.A, m.fp, true); err != nil {
+				return nil, err
+			}
+
+		case OpCallCC:
+			if err := m.callCC(in); err != nil {
+				return nil, err
+			}
+
+		case OpReturn:
+			rv, err := m.readReg(RegRet)
+			if err != nil {
+				return nil, err
+			}
+			ra, ok := rv.(RetAddr)
+			if !ok {
+				return nil, m.errf("return with corrupt ret register (%s)", prim.WriteString(rv))
+			}
+			if len(m.acts) == 0 {
+				return nil, m.errf("return with empty activation stack")
+			}
+			m.classifyTop()
+			m.acts = m.acts[:len(m.acts)-1]
+			m.pc = ra.PC
+			m.fp = ra.FP
+			m.poisonAfterCall()
+
+		default:
+			return nil, m.errf("unknown opcode %d", in.Op)
+		}
+	}
+}
+
+// call dispatches a procedure invocation. newFP is the callee frame
+// pointer; for non-tail calls ret has NOT yet been set (done here).
+func (m *Machine) call(argc, newFP int, tail bool) error {
+	calleeV, err := m.readReg(RegCP)
+	if err != nil {
+		return err
+	}
+	if !tail {
+		m.acts[len(m.acts)-1].madeCall = true
+		m.Counters.Calls++
+	} else {
+		m.Counters.TailCalls++
+	}
+	switch callee := calleeV.(type) {
+	case *Closure:
+		proc := &m.prog.Procs[callee.Proc]
+		if !tail {
+			m.regs[RegRet] = RetAddr{PC: m.pc + 1, FP: m.fp}
+			m.acts = append(m.acts, actEntry{proc: int32(callee.Proc)})
+		} else {
+			m.classifyTop()
+			m.acts[len(m.acts)-1] = actEntry{proc: int32(callee.Proc)}
+		}
+		m.Counters.Activations++
+		m.Counters.PerProc[callee.Proc].Activations++
+		m.fp = newFP
+		m.argc = argc
+		m.pc = proc.Entry
+		m.poisonAtEntry(argc)
+		return nil
+
+	case *PrimValue:
+		args, err := m.collectArgs(argc, newFP)
+		if err != nil {
+			return err
+		}
+		if err := prim.CheckArity(callee.Def, argc); err != nil {
+			return m.errf("%v", err)
+		}
+		res, err := callee.Def.Fn(m.ctx, args)
+		if err != nil {
+			return err
+		}
+		m.regs[RegRV] = res
+		if tail {
+			// The primitive's result returns directly to our caller.
+			rv, err := m.readReg(RegRet)
+			if err != nil {
+				return err
+			}
+			ra, ok := rv.(RetAddr)
+			if !ok {
+				return m.errf("tail call to primitive with corrupt ret register")
+			}
+			m.classifyTop()
+			m.acts = m.acts[:len(m.acts)-1]
+			m.pc = ra.PC
+			m.fp = ra.FP
+		} else {
+			m.pc++
+		}
+		m.poisonAfterCall()
+		return nil
+
+	case *Cont:
+		if argc != 1 {
+			return m.errf("continuation expects 1 argument, got %d", argc)
+		}
+		args, err := m.collectArgs(1, newFP)
+		if err != nil {
+			return err
+		}
+		m.resumeCont(callee, args[0])
+		return nil
+
+	default:
+		return m.errf("attempt to apply non-procedure %s", prim.WriteString(calleeV))
+	}
+}
+
+// callCC captures the continuation and invokes the receiver in cp with
+// it as the single argument.
+func (m *Machine) callCC(in *Instr) error {
+	newFP := m.fp + in.B
+	k := &Cont{
+		Stack:    append([]prim.Value(nil), m.stack[:min(newFP, len(m.stack))]...),
+		FP:       m.fp,
+		ResumePC: m.pc + 1,
+		Acts:     append([]actEntry(nil), m.acts...),
+		CSRegs:   append([]prim.Value(nil), m.regs[m.callerSaveLimit():]...),
+	}
+	k.Acts[len(k.Acts)-1].madeCall = true
+	if m.cfg.ArgRegs > 0 {
+		m.writeReg(m.cfg.ArgReg(0), k)
+	} else {
+		m.storeSlot(newFP, k, KindArg)
+	}
+	return m.call(1, newFP, false)
+}
+
+// resumeCont reinstates a captured continuation with the given value.
+func (m *Machine) resumeCont(k *Cont, value prim.Value) {
+	m.ensureStack(len(k.Stack) + 16)
+	copy(m.stack, k.Stack)
+	// Clear anything above the captured extent within our stack (not
+	// semantically necessary; keeps stale values from lingering).
+	m.fp = k.FP
+	m.pc = k.ResumePC
+	m.acts = append(m.acts[:0], k.Acts...)
+	copy(m.regs[m.callerSaveLimit():], k.CSRegs)
+	m.regs[RegRV] = value
+	m.poisonAfterCall()
+}
+
+// collectArgs reads an argument list per the calling convention: the
+// first ArgRegs arguments from registers, the rest from the callee
+// frame's incoming-argument slots.
+func (m *Machine) collectArgs(argc, newFP int) ([]prim.Value, error) {
+	if cap(m.argbuf) < argc {
+		m.argbuf = make([]prim.Value, argc)
+	}
+	args := m.argbuf[:argc]
+	for i := 0; i < argc; i++ {
+		if i < m.cfg.ArgRegs {
+			v, err := m.readReg(m.cfg.ArgReg(i))
+			if err != nil {
+				return nil, err
+			}
+			args[i] = v
+		} else {
+			v, err := m.loadSlot(newFP+(i-m.cfg.ArgRegs), KindArg)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = v
+		}
+	}
+	return args, nil
+}
+
+func (m *Machine) doPrim(in *Instr) error {
+	def := m.prog.Prims[in.B]
+	if cap(m.argbuf) < len(in.Regs) {
+		m.argbuf = make([]prim.Value, len(in.Regs))
+	}
+	args := m.argbuf[:len(in.Regs)]
+	for i, r := range in.Regs {
+		v, err := m.readOperand(r)
+		if err != nil {
+			return err
+		}
+		args[i] = v
+	}
+	m.Counters.PrimInstrs++
+	res, err := def.Fn(m.ctx, args)
+	if err != nil {
+		return err
+	}
+	m.writeReg(in.A, res)
+	return nil
+}
+
+// readOperand reads a register (>= 0) or frame slot (^slot encoding).
+// Slot operands behave like a load consumed immediately: they pay the
+// memory penalty plus a full load-use stall.
+func (m *Machine) readOperand(r int) (prim.Value, error) {
+	if r >= 0 {
+		return m.readReg(r)
+	}
+	v, err := m.loadSlot(m.fp+^r, KindTemp)
+	if err != nil {
+		return nil, err
+	}
+	m.Counters.Cycles += m.cost.LoadLatency
+	m.Counters.StallCycles += m.cost.LoadLatency
+	return v, nil
+}
+
+func (m *Machine) readReg(r int) (prim.Value, error) {
+	if ready := m.readyAt[r]; ready > m.Counters.Cycles {
+		m.Counters.StallCycles += ready - m.Counters.Cycles
+		m.Counters.Cycles = ready
+	}
+	v := m.regs[r]
+	if m.ValidateRestores {
+		if _, bad := v.(poison); bad {
+			return nil, m.errf("read of destroyed register r%d (missing restore)", r)
+		}
+	}
+	return v, nil
+}
+
+func (m *Machine) writeReg(r int, v prim.Value) {
+	m.regs[r] = v
+	m.readyAt[r] = 0
+}
+
+func (m *Machine) loadSlot(addr int, kind SlotKind) (prim.Value, error) {
+	if addr < 0 || addr >= len(m.stack) {
+		return nil, m.errf("stack load out of range (%d)", addr)
+	}
+	m.Counters.StackReads++
+	m.Counters.ReadsByKind[kind]++
+	m.Counters.Cycles += m.cost.MemPenalty
+	return m.stack[addr], nil
+}
+
+func (m *Machine) storeSlot(addr int, v prim.Value, kind SlotKind) {
+	m.ensureStack(addr + 1)
+	m.Counters.StackWrites++
+	m.Counters.WritesByKind[kind]++
+	m.Counters.Cycles += m.cost.MemPenalty
+	m.stack[addr] = v
+}
+
+func (m *Machine) ensureStack(n int) {
+	if n <= len(m.stack) {
+		return
+	}
+	grown := make([]prim.Value, max(n, len(m.stack)*2))
+	copy(grown, m.stack)
+	m.stack = grown
+}
+
+func (m *Machine) actTopProc() int {
+	if len(m.acts) == 0 {
+		return m.prog.MainIndex
+	}
+	return int(m.acts[len(m.acts)-1].proc)
+}
+
+// classifyTop records the finishing activation in the Table 2 breakdown.
+func (m *Machine) classifyTop() {
+	if len(m.acts) == 0 {
+		return
+	}
+	top := m.acts[len(m.acts)-1]
+	info := &m.prog.Procs[top.proc]
+	pc := &m.Counters.PerProc[top.proc]
+	if top.madeCall {
+		pc.MadeCalls++
+	}
+	switch {
+	case info.SyntacticLeaf:
+		m.Counters.SyntacticLeaves++
+	case !top.madeCall:
+		m.Counters.NonSyntacticLeaves++
+	case info.CallInevitable:
+		m.Counters.SyntacticInternal++
+	default:
+		m.Counters.NonSyntacticInternal++
+	}
+}
+
+// poisonAfterCall invalidates the caller-save registers (except rv) on
+// return from a call.
+func (m *Machine) poisonAfterCall() {
+	if !m.ValidateRestores {
+		return
+	}
+	callerSave := m.callerSaveLimit()
+	for r := 0; r < callerSave; r++ {
+		if r != RegRV {
+			m.regs[r] = poison{}
+			m.readyAt[r] = 0
+		}
+	}
+}
+
+// poisonAtEntry invalidates everything a fresh activation may not read:
+// all registers except ret, cp and the live argument registers.
+func (m *Machine) poisonAtEntry(argc int) {
+	if !m.ValidateRestores {
+		return
+	}
+	callerSave := m.callerSaveLimit()
+	nArgRegs := min(argc, m.cfg.ArgRegs)
+	for r := 0; r < callerSave; r++ {
+		if r == RegRet || r == RegCP {
+			continue
+		}
+		if r >= m.cfg.ArgReg(0) && r < m.cfg.ArgReg(0)+nArgRegs {
+			continue
+		}
+		m.regs[r] = poison{}
+		m.readyAt[r] = 0
+	}
+}
+
+// callerSaveLimit returns the first register that is NOT caller-save
+// (callee-save registers survive calls).
+func (m *Machine) callerSaveLimit() int {
+	if m.cfg.CalleeSaveRegs > 0 {
+		return m.cfg.CalleeSaveReg(0)
+	}
+	return m.cfg.NumRegs()
+}
+
+// copyConst deep-copies constants containing mutable structure so each
+// evaluation of a quote yields fresh pairs/vectors (matching the
+// reference interpreter).
+func copyConst(v prim.Value) prim.Value {
+	switch t := v.(type) {
+	case *sexp.Pair:
+		return &sexp.Pair{
+			Car: copyConst(t.Car).(sexp.Datum),
+			Cdr: copyConst(t.Cdr).(sexp.Datum),
+		}
+	case *sexp.Vector:
+		items := make([]sexp.Datum, len(t.Items))
+		for i, it := range t.Items {
+			items[i] = copyConst(it).(sexp.Datum)
+		}
+		return &sexp.Vector{Items: items}
+	default:
+		return v
+	}
+}

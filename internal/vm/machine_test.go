@@ -1,0 +1,412 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/prim"
+	"repro/internal/sexp"
+)
+
+// asm builds a program around a hand-written main body. The code is laid
+// out as [halt, entry args=0 frame=8, body...]; procs can be appended.
+func asm(body ...Instr) *Program {
+	code := []Instr{
+		{Op: OpHalt},
+		{Op: OpEntry, A: 0, B: 8},
+	}
+	code = append(code, body...)
+	return &Program{
+		Code:         code,
+		Consts:       nil,
+		ConstMutable: nil,
+		Procs:        []ProcInfo{{Name: "main", Entry: 1}},
+		MainIndex:    0,
+		Config:       DefaultConfig(),
+	}
+}
+
+func runProgram(t *testing.T, p *Program) (prim.Value, *Machine) {
+	t.Helper()
+	m := New(p, nil)
+	v, err := m.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return v, m
+}
+
+func (p *Program) withConst(v prim.Value) (int, *Program) {
+	p.Consts = append(p.Consts, v)
+	p.ConstMutable = append(p.ConstMutable, false)
+	return len(p.Consts) - 1, p
+}
+
+func (p *Program) withPrim(name string) int {
+	p.Prims = append(p.Prims, prim.Lookup(sexp.Symbol(name)))
+	return len(p.Prims) - 1
+}
+
+func TestMoveConstReturn(t *testing.T) {
+	p := asm(
+		Instr{Op: OpLoadConst, A: RegRV, B: 0},
+		Instr{Op: OpReturn},
+	)
+	_, p = p.withConst(sexp.Fixnum(42))
+	v, m := runProgram(t, p)
+	if v != sexp.Fixnum(42) {
+		t.Errorf("got %v", v)
+	}
+	if m.Counters.Instructions == 0 {
+		t.Error("instructions not counted")
+	}
+}
+
+func TestPrimAndOperandEncoding(t *testing.T) {
+	cfg := DefaultConfig()
+	s0 := cfg.ScratchReg(0)
+	p := asm(
+		Instr{Op: OpLoadConst, A: s0, B: 0},
+		Instr{Op: OpStoreSlot, A: s0, B: 3, Kind: KindTemp},
+		Instr{Op: OpLoadConst, A: s0, B: 1},
+		// rv = +(reg s0, slot 3): mixed register/memory operands
+		Instr{Op: OpPrim, A: RegRV, B: 0, Regs: []int{s0, ^3}},
+		Instr{Op: OpReturn},
+	)
+	_, p = p.withConst(sexp.Fixnum(30))
+	_, p = p.withConst(sexp.Fixnum(12))
+	p.withPrim("+")
+	v, m := runProgram(t, p)
+	if v != sexp.Fixnum(42) {
+		t.Errorf("got %v", v)
+	}
+	// One slot write, one slot read (the memory operand).
+	if m.Counters.StackWrites != 1 || m.Counters.StackReads != 1 {
+		t.Errorf("stack refs = %d writes, %d reads", m.Counters.StackWrites, m.Counters.StackReads)
+	}
+	// The memory operand pays penalty + a full load-use stall.
+	if m.Counters.StallCycles == 0 {
+		t.Error("memory operand should stall")
+	}
+}
+
+func TestBranchAndJump(t *testing.T) {
+	s0 := DefaultConfig().ScratchReg(0)
+	p := asm(
+		Instr{Op: OpLoadConst, A: s0, B: 0},    // #f
+		Instr{Op: OpBranchFalse, A: s0, B: 6},  // jump to else
+		Instr{Op: OpLoadConst, A: RegRV, B: 1}, // (not executed)
+		Instr{Op: OpJump, A: 7},
+		Instr{Op: OpLoadConst, A: RegRV, B: 2}, // pc 6: else
+		Instr{Op: OpReturn},                    // pc 7
+	)
+	_, p = p.withConst(sexp.Boolean(false))
+	_, p = p.withConst(sexp.Symbol("then"))
+	_, p = p.withConst(sexp.Symbol("else"))
+	v, m := runProgram(t, p)
+	if v != sexp.Symbol("else") {
+		t.Errorf("got %v", v)
+	}
+	if m.Counters.Branches != 1 {
+		t.Errorf("branches = %d", m.Counters.Branches)
+	}
+}
+
+func TestBranchPredictionCounters(t *testing.T) {
+	s0 := DefaultConfig().ScratchReg(0)
+	p := asm(
+		Instr{Op: OpLoadConst, A: s0, B: 0},               // #t -> not taken
+		Instr{Op: OpBranchFalse, A: s0, B: 5, Predict: 1}, // predicted taken: mispredict
+		Instr{Op: OpLoadConst, A: RegRV, B: 0},
+		Instr{Op: OpReturn},
+	)
+	_, p = p.withConst(sexp.Boolean(true))
+	m := New(p, nil)
+	cost := DefaultCostModel()
+	cost.BranchMispredict = 7
+	m.SetCostModel(cost)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Counters.Mispredicts != 1 || m.Counters.PredictedBranches != 1 {
+		t.Errorf("mispredicts=%d predicted=%d", m.Counters.Mispredicts, m.Counters.PredictedBranches)
+	}
+}
+
+func TestCallReturnAndArity(t *testing.T) {
+	cfg := DefaultConfig()
+	a0 := cfg.ArgReg(0)
+	// proc double: rv = a0 + a0; return
+	p := asm(
+		// main: closure for double, call with 5 (saving ret around it)
+		Instr{Op: OpStoreSlot, A: RegRet, B: 0, Kind: KindSave},
+		Instr{Op: OpClosure, A: RegCP, B: 1, Regs: nil},
+		Instr{Op: OpLoadConst, A: a0, B: 0},
+		Instr{Op: OpCall, A: 1, B: 8},
+		Instr{Op: OpLoadSlot, A: RegRet, B: 0, Kind: KindRestore},
+		Instr{Op: OpReturn},
+	)
+	entry := len(p.Code)
+	p.Code = append(p.Code,
+		Instr{Op: OpEntry, A: 1, B: 4},
+		Instr{Op: OpPrim, A: RegRV, B: 0, Regs: []int{a0, a0}},
+		Instr{Op: OpReturn},
+	)
+	p.Procs = append(p.Procs, ProcInfo{Name: "double", Entry: entry, NArgs: 1, SyntacticLeaf: true})
+	_, p = p.withConst(sexp.Fixnum(5))
+	p.withPrim("+")
+	v, m := runProgram(t, p)
+	if v != sexp.Fixnum(10) {
+		t.Errorf("got %v", v)
+	}
+	if m.Counters.Calls != 1 {
+		t.Errorf("calls = %d", m.Counters.Calls)
+	}
+	if m.Counters.SyntacticLeaves != 1 {
+		t.Errorf("syntactic leaves = %d", m.Counters.SyntacticLeaves)
+	}
+
+	// Arity violation traps.
+	bad := asm(
+		Instr{Op: OpStoreSlot, A: RegRet, B: 0, Kind: KindSave},
+		Instr{Op: OpClosure, A: RegCP, B: 1, Regs: nil},
+		Instr{Op: OpCall, A: 2, B: 8}, // double expects 1
+		Instr{Op: OpLoadSlot, A: RegRet, B: 0, Kind: KindRestore},
+		Instr{Op: OpReturn},
+	)
+	entry = len(bad.Code)
+	bad.Code = append(bad.Code,
+		Instr{Op: OpEntry, A: 1, B: 4},
+		Instr{Op: OpReturn},
+	)
+	bad.Procs = append(bad.Procs, ProcInfo{Name: "double", Entry: entry, NArgs: 1})
+	m2 := New(bad, nil)
+	if _, err := m2.Run(); err == nil || !strings.Contains(err.Error(), "expects 1 arguments") {
+		t.Errorf("expected arity error, got %v", err)
+	}
+}
+
+func TestApplyNonProcedure(t *testing.T) {
+	p := asm(
+		Instr{Op: OpStoreSlot, A: RegRet, B: 0, Kind: KindSave},
+		Instr{Op: OpLoadConst, A: RegCP, B: 0},
+		Instr{Op: OpCall, A: 0, B: 8},
+		Instr{Op: OpReturn},
+	)
+	_, p = p.withConst(sexp.Fixnum(3))
+	m := New(p, nil)
+	if _, err := m.Run(); err == nil || !strings.Contains(err.Error(), "non-procedure") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestClosurePatchAndFreeRef(t *testing.T) {
+	cfg := DefaultConfig()
+	s0 := cfg.ScratchReg(0)
+	s1 := cfg.ScratchReg(1)
+	p := asm(
+		Instr{Op: OpStoreSlot, A: RegRet, B: 0, Kind: KindSave},
+		Instr{Op: OpLoadConst, A: s1, B: 0}, // placeholder
+		Instr{Op: OpClosure, A: s0, B: 1, Regs: []int{s1}},
+		Instr{Op: OpLoadConst, A: s1, B: 1}, // real value 99
+		Instr{Op: OpClosurePatch, A: s0, B: 0, C: s1},
+		Instr{Op: OpMove, A: RegCP, B: s0},
+		Instr{Op: OpCall, A: 0, B: 8},
+		Instr{Op: OpLoadSlot, A: RegRet, B: 0, Kind: KindRestore},
+		Instr{Op: OpReturn},
+	)
+	entry := len(p.Code)
+	p.Code = append(p.Code,
+		Instr{Op: OpEntry, A: 0, B: 4},
+		Instr{Op: OpFreeRef, A: RegRV, B: 0},
+		Instr{Op: OpReturn},
+	)
+	p.Procs = append(p.Procs, ProcInfo{Name: "getter", Entry: entry, NFree: 1})
+	_, p = p.withConst(sexp.Boolean(false))
+	_, p = p.withConst(sexp.Fixnum(99))
+	v, _ := runProgram(t, p)
+	if v != sexp.Fixnum(99) {
+		t.Errorf("got %v", v)
+	}
+}
+
+func TestMutableConstCopied(t *testing.T) {
+	// Loading a pair constant twice yields distinct pairs.
+	s0 := DefaultConfig().ScratchReg(0)
+	s1 := DefaultConfig().ScratchReg(1)
+	p := asm(
+		Instr{Op: OpLoadConst, A: s0, B: 0},
+		Instr{Op: OpLoadConst, A: s1, B: 0},
+		Instr{Op: OpPrim, A: RegRV, B: 0, Regs: []int{s0, s1}}, // eq?
+		Instr{Op: OpReturn},
+	)
+	p.Consts = append(p.Consts, sexp.Cons(sexp.Fixnum(1), sexp.Fixnum(2)))
+	p.ConstMutable = append(p.ConstMutable, true)
+	p.withPrim("eq?")
+	v, _ := runProgram(t, p)
+	if v != sexp.Boolean(false) {
+		t.Errorf("pair constants should be copied per load, got %v", v)
+	}
+}
+
+func TestValidateRestoresPoison(t *testing.T) {
+	cfg := DefaultConfig()
+	u0 := cfg.UserReg(0)
+	// main puts a value in a user register, calls a leaf, then reads the
+	// user register without restoring: must trap under validation.
+	p := asm(
+		Instr{Op: OpLoadConst, A: u0, B: 0},
+		Instr{Op: OpClosure, A: RegCP, B: 1, Regs: nil},
+		Instr{Op: OpStoreSlot, A: RegRet, B: 0, Kind: KindSave},
+		Instr{Op: OpCall, A: 0, B: 8},
+		Instr{Op: OpLoadSlot, A: RegRet, B: 0, Kind: KindRestore},
+		Instr{Op: OpMove, A: RegRV, B: u0}, // read of destroyed register
+		Instr{Op: OpReturn},
+	)
+	entry := len(p.Code)
+	p.Code = append(p.Code,
+		Instr{Op: OpEntry, A: 0, B: 4},
+		Instr{Op: OpLoadConst, A: RegRV, B: 0},
+		Instr{Op: OpReturn},
+	)
+	p.Procs = append(p.Procs, ProcInfo{Name: "leaf", Entry: entry, SyntacticLeaf: true})
+	_, p = p.withConst(sexp.Fixnum(1))
+
+	// Without validation it runs (value is whatever remains).
+	m := New(p, nil)
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("unvalidated run failed: %v", err)
+	}
+	// With validation it traps.
+	m2 := New(p, nil)
+	m2.ValidateRestores = true
+	if _, err := m2.Run(); err == nil || !strings.Contains(err.Error(), "destroyed register") {
+		t.Errorf("expected poison trap, got %v", err)
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	p := asm(
+		Instr{Op: OpJump, A: 2}, // spin forever
+	)
+	m := New(p, nil)
+	m.MaxSteps = 1000
+	if _, err := m.Run(); err == nil || !strings.Contains(err.Error(), "step budget") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestSlotKindAccounting(t *testing.T) {
+	s0 := DefaultConfig().ScratchReg(0)
+	p := asm(
+		Instr{Op: OpLoadConst, A: s0, B: 0},
+		Instr{Op: OpStoreSlot, A: s0, B: 0, Kind: KindSave},
+		Instr{Op: OpLoadSlot, A: s0, B: 0, Kind: KindRestore},
+		Instr{Op: OpStoreSlot, A: s0, B: 1, Kind: KindVar},
+		Instr{Op: OpLoadSlot, A: RegRV, B: 1, Kind: KindVar},
+		Instr{Op: OpReturn},
+	)
+	_, p = p.withConst(sexp.Fixnum(7))
+	v, m := runProgram(t, p)
+	if v != sexp.Fixnum(7) {
+		t.Errorf("got %v", v)
+	}
+	c := m.Counters
+	if c.WritesByKind[KindSave] != 1 || c.ReadsByKind[KindRestore] != 1 ||
+		c.WritesByKind[KindVar] != 1 || c.ReadsByKind[KindVar] != 1 {
+		t.Errorf("kind accounting wrong: %+v %+v", c.ReadsByKind, c.WritesByKind)
+	}
+	if c.StackRefs() != 4 {
+		t.Errorf("stack refs = %d", c.StackRefs())
+	}
+}
+
+func TestLoadUseStall(t *testing.T) {
+	s0 := DefaultConfig().ScratchReg(0)
+	mk := func(pad int) *Machine {
+		body := []Instr{
+			{Op: OpLoadConst, A: s0, B: 0},
+			{Op: OpStoreSlot, A: s0, B: 0, Kind: KindTemp},
+			{Op: OpLoadSlot, A: s0, B: 0, Kind: KindTemp},
+		}
+		for i := 0; i < pad; i++ {
+			body = append(body, Instr{Op: OpLoadConst, A: RegRV, B: 0})
+		}
+		body = append(body,
+			Instr{Op: OpMove, A: RegRV, B: s0}, // consume the load
+			Instr{Op: OpReturn},
+		)
+		p := asm(body...)
+		_, p = p.withConst(sexp.Fixnum(1))
+		m := New(p, nil)
+		if _, err := m.Run(); err != nil {
+			panic(err)
+		}
+		return m
+	}
+	immediate := mk(0)
+	distant := mk(5)
+	if immediate.Counters.StallCycles == 0 {
+		t.Error("immediate use after load should stall")
+	}
+	if distant.Counters.StallCycles != 0 {
+		t.Errorf("distant use should not stall (got %d)", distant.Counters.StallCycles)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := Config{ArgRegs: 30, UserRegs: 30, ScratchRegs: 30}
+	if err := bad.Validate(); err == nil {
+		t.Error("oversized register file should fail validation")
+	}
+	if err := (Config{ArgRegs: -1, ScratchRegs: 8}).Validate(); err == nil {
+		t.Error("negative count should fail validation")
+	}
+}
+
+func TestRegisterLayout(t *testing.T) {
+	cfg := Config{ArgRegs: 2, UserRegs: 3, ScratchRegs: 4, CalleeSaveRegs: 5}
+	if cfg.ArgReg(0) != 3 || cfg.UserReg(0) != 5 || cfg.ScratchReg(0) != 8 || cfg.CalleeSaveReg(0) != 12 {
+		t.Errorf("layout: arg0=%d user0=%d scratch0=%d cs0=%d",
+			cfg.ArgReg(0), cfg.UserReg(0), cfg.ScratchReg(0), cfg.CalleeSaveReg(0))
+	}
+	if cfg.NumRegs() != 17 {
+		t.Errorf("NumRegs = %d", cfg.NumRegs())
+	}
+}
+
+func TestDisassemblerCoversOpcodes(t *testing.T) {
+	p := asm(
+		Instr{Op: OpLoadConst, A: RegRV, B: 0},
+		Instr{Op: OpReturn},
+	)
+	_, p = p.withConst(sexp.Fixnum(1))
+	out := p.Disassemble()
+	for _, frag := range []string{"halt", "entry", "const rv", "return", "main:"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("disassembly missing %q:\n%s", frag, out)
+		}
+	}
+	// FormatInstr handles every opcode without panicking.
+	for op := OpHalt; op <= OpReturn; op++ {
+		_ = p.FormatInstr(Instr{Op: op, Regs: []int{3, ^1}})
+	}
+}
+
+func TestCountersString(t *testing.T) {
+	p := asm(
+		Instr{Op: OpLoadConst, A: RegRV, B: 0},
+		Instr{Op: OpReturn},
+	)
+	_, p = p.withConst(sexp.Fixnum(1))
+	_, m := runProgram(t, p)
+	s := m.Counters.String()
+	for _, frag := range []string{"instructions", "stack refs", "activations"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("counters string missing %q:\n%s", frag, s)
+		}
+	}
+}

@@ -1,0 +1,314 @@
+// Package lsr is the public API of the register-allocation library: a
+// mini-Scheme compiler and register-machine simulator built around the
+// PLDI'95 Burger/Waddell/Dybvig allocator — lazy saves, eager restores,
+// and greedy shuffling.
+//
+// Quick start:
+//
+//	prog, err := lsr.Compile(`(define (f x) (+ x 1)) (f 41)`, lsr.DefaultOptions())
+//	res, err := prog.Run(nil)
+//	fmt.Println(res.Value)            // "42"
+//	fmt.Println(res.Counters.StackRefs())
+//
+// The Options select the save strategy (lazy/early/late), the restore
+// policy (eager/lazy), the argument shuffler (greedy/optimal/naive), the
+// register configuration, and the §2.4 callee-save mode — every knob the
+// paper's evaluation turns.
+package lsr
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bench"
+	"repro/internal/codegen"
+	"repro/internal/compiler"
+	"repro/internal/prim"
+	"repro/internal/vm"
+)
+
+// SaveStrategy selects where register saves are placed (§2.1, §4).
+type SaveStrategy int
+
+// Save strategies.
+const (
+	// SaveLazy saves as soon as a call is inevitable (the paper).
+	SaveLazy SaveStrategy = iota
+	// SaveEarly saves at definition points (the callee-save-style extreme).
+	SaveEarly
+	// SaveLate saves immediately before each call (the caller-save extreme).
+	SaveLate
+	// SaveSimple places saves with the simple one-set S[E] algorithm of
+	// §2.1.1 — sound but "too lazy" around short-circuit boolean tests
+	// (the ablation motivating the revised algorithm).
+	SaveSimple
+)
+
+// RestorePolicy selects where restores are placed (§2.2).
+type RestorePolicy int
+
+// Restore policies.
+const (
+	// RestoreEager restores immediately after each call everything
+	// possibly referenced before the next call (the paper).
+	RestoreEager RestorePolicy = iota
+	// RestoreLazy restores at first use and on save-region exit.
+	RestoreLazy
+)
+
+// ShuffleMethod selects the argument-shuffling algorithm (§2.3).
+type ShuffleMethod int
+
+// Shuffle methods.
+const (
+	// ShuffleGreedy is the paper's greedy ordering with cycle breaking.
+	ShuffleGreedy ShuffleMethod = iota
+	// ShuffleOptimal exhaustively minimizes temporaries.
+	ShuffleOptimal
+	// ShuffleNaive evaluates arguments left to right.
+	ShuffleNaive
+)
+
+// Config is the machine's register layout.
+type Config struct {
+	// ArgRegs is the number of argument registers (paper default 6).
+	ArgRegs int
+	// UserRegs is the number of user-variable registers (paper default 6).
+	UserRegs int
+	// CalleeSaveRegs sizes the callee-save register file for the §2.4
+	// mode.
+	CalleeSaveRegs int
+}
+
+// Options configures a compilation.
+type Options struct {
+	Config   Config
+	Saves    SaveStrategy
+	Restores RestorePolicy
+	Shuffle  ShuffleMethod
+	// CalleeSave enables the §2.4 callee-save discipline (requires
+	// Config.CalleeSaveRegs > 0).
+	CalleeSave bool
+	// PredictBranches enables the §6 static branch prediction extension.
+	PredictBranches bool
+	// ShuffleStats additionally compares the shuffler against the
+	// exhaustive optimum at every call site (visible in Stats).
+	ShuffleStats bool
+	// NoPrelude omits the Scheme runtime library.
+	NoPrelude bool
+}
+
+// DefaultOptions is the paper's configuration: six argument and six user
+// registers, lazy saves, eager restores, greedy shuffling.
+func DefaultOptions() Options {
+	return Options{Config: Config{ArgRegs: 6, UserRegs: 6}}
+}
+
+// BaselineOptions is the Table 3 baseline: no argument or user
+// registers, so all parameters and variables live on the stack.
+func BaselineOptions() Options {
+	return Options{}
+}
+
+func (o Options) internal() compiler.Options {
+	out := compiler.DefaultOptions()
+	out.Config = vm.Config{
+		ArgRegs:        o.Config.ArgRegs,
+		UserRegs:       o.Config.UserRegs,
+		ScratchRegs:    8,
+		CalleeSaveRegs: o.Config.CalleeSaveRegs,
+	}
+	out.Saves = codegen.SaveStrategy(o.Saves)
+	out.Restores = codegen.RestorePolicy(o.Restores)
+	out.Shuffle = codegen.ShuffleMethod(o.Shuffle)
+	out.CalleeSave = o.CalleeSave
+	out.PredictBranches = o.PredictBranches
+	out.ComputeShuffleStats = o.ShuffleStats
+	out.NoPrelude = o.NoPrelude
+	return out
+}
+
+// Stats are static compilation measurements.
+type Stats = codegen.Stats
+
+// Counters are the machine's dynamic measurements (stack references,
+// cycles, the Table 2 activation classification, and more).
+type Counters = vm.Counters
+
+// Slot kinds index Counters.ReadsByKind and Counters.WritesByKind to
+// break stack traffic down by purpose.
+const (
+	KindSave    = vm.KindSave
+	KindRestore = vm.KindRestore
+	KindArg     = vm.KindArg
+	KindTemp    = vm.KindTemp
+	KindVar     = vm.KindVar
+)
+
+// CostModel charges cycles for instructions, stack traffic and load-use
+// stalls.
+type CostModel = vm.CostModel
+
+// DefaultCostModel approximates an early-90s RISC.
+func DefaultCostModel() CostModel { return vm.DefaultCostModel() }
+
+// Program is a compiled program.
+type Program struct {
+	compiled *vm.Program
+	// Stats holds the allocator's static measurements.
+	Stats Stats
+}
+
+// Compile compiles mini-Scheme source text.
+func Compile(src string, opts Options) (*Program, error) {
+	c, err := compiler.Compile(src, opts.internal())
+	if err != nil {
+		return nil, err
+	}
+	return &Program{compiled: c.Program, Stats: c.Stats}, nil
+}
+
+// Result is the outcome of running a program.
+type Result struct {
+	// Value is the program result in Scheme write notation.
+	Value string
+	// Counters are the dynamic measurements of the run.
+	Counters Counters
+}
+
+// Run executes the program; out receives display/write output (nil
+// discards it).
+func (p *Program) Run(out io.Writer) (*Result, error) {
+	return p.run(out, DefaultCostModel(), false, 0)
+}
+
+// RunValidated executes with restore validation: caller-save registers
+// are poisoned at every call boundary and reads of destroyed registers
+// trap. Useful when experimenting with allocator changes.
+func (p *Program) RunValidated(out io.Writer) (*Result, error) {
+	return p.run(out, DefaultCostModel(), true, 0)
+}
+
+// RunWithCost executes under an explicit cost model and step budget
+// (0 = unlimited).
+func (p *Program) RunWithCost(out io.Writer, cost CostModel, maxSteps int64) (*Result, error) {
+	return p.run(out, cost, false, maxSteps)
+}
+
+func (p *Program) run(out io.Writer, cost CostModel, validate bool, maxSteps int64) (*Result, error) {
+	m := vm.New(p.compiled, out)
+	m.SetCostModel(cost)
+	m.ValidateRestores = validate
+	m.MaxSteps = maxSteps
+	v, err := m.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Value: prim.WriteString(v), Counters: m.Counters}, nil
+}
+
+// Disassemble renders the compiled code.
+func (p *Program) Disassemble() string { return p.compiled.Disassemble() }
+
+// Interpret evaluates source with the reference interpreter (the
+// engine-independent oracle).
+func Interpret(src string, out io.Writer) (string, error) {
+	v, err := compiler.Interpret(src, false, out)
+	if err != nil {
+		return "", err
+	}
+	return prim.WriteString(v), nil
+}
+
+// Benchmark is one program of the paper's evaluation suite.
+type Benchmark struct {
+	Name        string
+	Description string
+	Source      string
+	// Expect is the expected result in write notation.
+	Expect string
+	// Large marks the Table 1 large-program stand-ins.
+	Large bool
+}
+
+// Benchmarks returns the evaluation suite (Gabriel benchmarks plus the
+// large-program stand-ins) in table order.
+func Benchmarks() []Benchmark {
+	all := bench.All()
+	out := make([]Benchmark, len(all))
+	for i, p := range all {
+		out[i] = Benchmark{
+			Name:        p.Name,
+			Description: p.Description,
+			Source:      p.Source,
+			Expect:      p.Expect,
+			Large:       p.Large,
+		}
+	}
+	return out
+}
+
+// BenchmarkByName fetches one benchmark.
+func BenchmarkByName(name string) (Benchmark, error) {
+	p, err := bench.ByName(name)
+	if err != nil {
+		return Benchmark{}, err
+	}
+	return Benchmark{
+		Name: p.Name, Description: p.Description, Source: p.Source,
+		Expect: p.Expect, Large: p.Large,
+	}, nil
+}
+
+// String implementations for the option enums.
+
+func (s SaveStrategy) String() string {
+	return codegen.SaveStrategy(s).String()
+}
+
+func (r RestorePolicy) String() string {
+	return codegen.RestorePolicy(r).String()
+}
+
+func (s ShuffleMethod) String() string {
+	return codegen.ShuffleMethod(s).String()
+}
+
+// ParseSaveStrategy parses "lazy", "early" or "late".
+func ParseSaveStrategy(s string) (SaveStrategy, error) {
+	switch s {
+	case "lazy":
+		return SaveLazy, nil
+	case "early":
+		return SaveEarly, nil
+	case "late":
+		return SaveLate, nil
+	case "simple":
+		return SaveSimple, nil
+	}
+	return 0, fmt.Errorf("lsr: unknown save strategy %q (want lazy, early, late or simple)", s)
+}
+
+// ParseRestorePolicy parses "eager" or "lazy".
+func ParseRestorePolicy(s string) (RestorePolicy, error) {
+	switch s {
+	case "eager":
+		return RestoreEager, nil
+	case "lazy":
+		return RestoreLazy, nil
+	}
+	return 0, fmt.Errorf("lsr: unknown restore policy %q (want eager or lazy)", s)
+}
+
+// ParseShuffleMethod parses "greedy", "optimal" or "naive".
+func ParseShuffleMethod(s string) (ShuffleMethod, error) {
+	switch s {
+	case "greedy":
+		return ShuffleGreedy, nil
+	case "optimal":
+		return ShuffleOptimal, nil
+	case "naive":
+		return ShuffleNaive, nil
+	}
+	return 0, fmt.Errorf("lsr: unknown shuffle method %q (want greedy, optimal or naive)", s)
+}
