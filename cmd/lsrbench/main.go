@@ -12,6 +12,7 @@
 //	lsrbench -restores           # §2.2 eager-vs-lazy restore study
 //	lsrbench -branch             # §6 branch prediction study
 //	lsrbench -compiletime        # §4 compile-time profile
+//	lsrbench -verify             # static translation validation sweep
 //	lsrbench -suite quick        # restrict tables to a fast subset
 package main
 
@@ -33,6 +34,7 @@ func main() {
 		branch      = flag.Bool("branch", false, "§6 branch prediction study")
 		compileTime = flag.Bool("compiletime", false, "§4 compile-time profile")
 		ablation    = flag.Bool("ablation", false, "§2.1 simple-vs-revised save-algorithm ablation")
+		verifySweep = flag.Bool("verify", false, "statically verify every benchmark under every swept configuration")
 		all         = flag.Bool("all", false, "run everything")
 		suite       = flag.String("suite", "full", "benchmark subset: full or quick")
 	)
@@ -136,6 +138,13 @@ func main() {
 	if *all || *ablation {
 		section(func() error {
 			_, text, err := bench.SaveAlgorithmAblation(progs)
+			fmt.Print(text)
+			return err
+		})
+	}
+	if *all || *verifySweep {
+		section(func() error {
+			text, err := bench.VerifySweep(progs)
 			fmt.Print(text)
 			return err
 		})

@@ -11,11 +11,12 @@
 // Flags select the save strategy (-saves lazy|early|late), restore
 // policy (-restores eager|lazy), shuffler (-shuffle greedy|optimal|naive),
 // register counts (-argregs N -userregs N), the callee-save mode
-// (-calleesave N), and diagnostics (-dump, -stats, -validate, -interp,
-// -bench NAME).
+// (-calleesave N), and diagnostics (-dump, -stats, -validate, -verify,
+// -interp, -bench NAME).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -36,6 +37,7 @@ func main() {
 		calleeSv  = flag.Int("calleesave", 0, "enable callee-save mode with N callee-save registers")
 		predict   = flag.Bool("predict", false, "enable static branch prediction")
 		noPrelude = flag.Bool("no-prelude", false, "omit the Scheme runtime library")
+		verifyPP  = flag.Bool("verify", false, "statically verify the emitted code (translation validation)")
 		dump      = flag.Bool("dump", false, "print the compiled code")
 		stats     = flag.Bool("stats", false, "print machine counters after the run")
 		validate  = flag.Bool("validate", false, "poison registers at call boundaries (restore validation)")
@@ -64,8 +66,13 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	opts.Verify = *verifyPP
 	prog, err := lsr.Compile(src, opts)
 	if err != nil {
+		var verr *lsr.VerifyError
+		if errors.As(err, &verr) {
+			failVerify(verr)
+		}
 		fail(err)
 	}
 	if *dump {
@@ -133,5 +140,16 @@ func buildOptions(saves, restores, shuffle string, argRegs, userRegs, calleeSave
 
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "lsrc:", err)
+	os.Exit(1)
+}
+
+// failVerify prints each translation-validation violation on its own
+// line — the invariant that broke, the offending pc and instruction,
+// and a static path witnessing the failure — then exits nonzero.
+func failVerify(verr *lsr.VerifyError) {
+	fmt.Fprintf(os.Stderr, "lsrc: translation validation failed: %d violation(s)\n", len(verr.Violations))
+	for _, v := range verr.Violations {
+		fmt.Fprintf(os.Stderr, "  %s\n", v)
+	}
 	os.Exit(1)
 }

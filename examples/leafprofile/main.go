@@ -19,6 +19,9 @@ import (
 
 func main() {
 	names := []string{"tak", "deriv", "browse", "minieval", "typecheck"}
+	// Every compilation in the examples runs the translation validator.
+	opts := lsr.DefaultOptions()
+	opts.Verify = true
 
 	fmt.Printf("%-12s %12s %10s %10s %10s %10s\n",
 		"benchmark", "activations", "syn-leaf", "eff-leaf", "ns-intern", "syn-intern")
@@ -27,7 +30,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		prog, err := lsr.Compile(b.Source, lsr.DefaultOptions())
+		prog, err := lsr.Compile(b.Source, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -47,7 +50,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	prog, err := lsr.Compile(b.Source, lsr.DefaultOptions())
+	prog, err := lsr.Compile(b.Source, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -30,7 +30,11 @@ const program = `
 func main() {
 	// Compile under the paper's configuration: six argument registers,
 	// six user registers, lazy saves, eager restores, greedy shuffling.
-	prog, err := lsr.Compile(program, lsr.DefaultOptions())
+	// Verify additionally runs the static translation validator over the
+	// emitted code, proving the save/restore/shuffle invariants hold.
+	opts := lsr.DefaultOptions()
+	opts.Verify = true
+	prog, err := lsr.Compile(program, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,7 +49,7 @@ func main() {
 	fmt.Print(res.Counters.String())
 
 	// The same program with the early-save strategy, for comparison.
-	early := lsr.DefaultOptions()
+	early := opts
 	early.Saves = lsr.SaveEarly
 	prog2, err := lsr.Compile(program, early)
 	if err != nil {

@@ -63,10 +63,12 @@ func main() {
 		matched, 100*float64(matched)/float64(sites), extra)
 
 	fmt.Println("== And in compiled code: the swap loop runs with one temporary ==")
+	opts := lsr.DefaultOptions()
+	opts.Verify = true // the validator checks the emitted shuffle too
 	prog, err := lsr.Compile(`
 (define (spin x y n)
   (if (zero? n) (list x y) (spin y x (- n 1))))
-(spin 'a 'b 101)`, lsr.DefaultOptions())
+(spin 'a 'b 101)`, opts)
 	if err != nil {
 		panic(err)
 	}

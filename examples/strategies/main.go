@@ -27,6 +27,7 @@ func main() {
 		opts lsr.Options
 	}
 	base := lsr.DefaultOptions()
+	base.Verify = true // statically validate every compilation below
 	early := base
 	early.Saves = lsr.SaveEarly
 	late := base

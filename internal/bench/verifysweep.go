@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/codegen"
+	"repro/internal/compiler"
+)
+
+// VerifySweep statically verifies every benchmark under the allocator
+// configurations the evaluation exercises: all four save strategies,
+// both restore policies, the callee-save mode and the stack baseline.
+// It returns a summary table; the error is non-nil if any compilation
+// fails translation validation (and carries the violations).
+func VerifySweep(progs []*Program) (string, error) {
+	type sweepCfg struct {
+		name string
+		opts compiler.Options
+	}
+	lazyRestores := PaperOptions()
+	lazyRestores.Restores = codegen.RestoreLazy
+	cfgs := []sweepCfg{
+		{"saves=lazy restores=eager", PaperOptions()},
+		{"saves=early", StrategyOptions(codegen.SaveEarly)},
+		{"saves=late", StrategyOptions(codegen.SaveLate)},
+		{"saves=simple", StrategyOptions(codegen.SaveSimple)},
+		{"saves=lazy restores=lazy", lazyRestores},
+		{"callee-save", CalleeSaveOptions(codegen.SaveLazy)},
+		{"baseline (no registers)", BaselineOptions()},
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Translation validation: %d programs x %d configurations\n", len(progs), len(cfgs))
+	for _, c := range cfgs {
+		opts := c.opts
+		opts.Verify = true
+		instrs := 0
+		for _, p := range progs {
+			compiled, err := compiler.Compile(p.Source, opts)
+			if err != nil {
+				return b.String(), fmt.Errorf("%s under %s: %w", p.Name, c.name, err)
+			}
+			instrs += len(compiled.Program.Code)
+		}
+		fmt.Fprintf(&b, "  %-28s ok (%d instructions verified)\n", c.name, instrs)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,13 @@
+package bench
+
+import "testing"
+
+// TestVerifySweep proves the lazy-save, eager-restore and shuffle
+// invariants statically for the whole evaluation suite under every
+// swept configuration (the ISSUE acceptance bar: all benchmarks, all
+// four save strategies, plus callee-save and the baseline).
+func TestVerifySweep(t *testing.T) {
+	if _, err := VerifySweep(All()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -22,6 +22,7 @@ type codegen struct {
 	primIdx  map[*prim.Def]int
 	unspec   int
 	stats    Stats
+	shuffles []vm.ShuffleRecord
 }
 
 // Compile lowers an IR program to VM code under the given options. The
@@ -85,6 +86,7 @@ func Compile(prog *ir.Program, opts Options) (compiled *vm.Program, stats Stats,
 		GlobalNames:  prog.GlobalNames,
 		PrimGlobals:  prog.PrimGlobals,
 		Config:       opts.Config,
+		Shuffles:     cg.shuffles,
 	}
 	return out, cg.stats, nil
 }

@@ -219,6 +219,22 @@ func (em *emitter) emitCSEpilogue() {
 	})
 }
 
+// releaseCS restores the previous contents of a callee-save register
+// when the variable living in it is rebound or goes out of scope. The
+// procedure-exit epilogue walks the current regVar/saved bookkeeping, so
+// a shadow association dropped mid-procedure would otherwise leave the
+// caller's value clobbered at exits (§2.4 requires it restored).
+func (em *emitter) releaseCS(r int) {
+	v := em.regVar[r]
+	if v == nil || v.CSReg < 0 || !em.saved.Has(r) {
+		return
+	}
+	em.cg.emit(vm.Instr{Op: vm.OpLoadSlot, A: v.CSReg, B: em.slotForReg(r), Kind: vm.KindRestore})
+	em.cg.stats.RestoreSites++
+	em.saved = em.saved.Remove(r)
+	em.stale = em.stale.Remove(r)
+}
+
 // reconcileCS undoes callee-save moves made within a diverging branch so
 // the join sees a consistent register file: the variable's value moves
 // back to its primary register and the callee-save register's previous
@@ -248,6 +264,51 @@ func (em *emitter) varReadReg(v *ir.Var) int {
 	}
 	em.ensureFresh(r)
 	return r
+}
+
+// shuffleAssigns records, for the translation validator, where each
+// simple (variable-reference) shuffle argument's value lives as the
+// call sequence begins: in the callee-save shadow once the variable has
+// moved there, in the save slot when a call destroyed the register
+// copy, otherwise in the home cell. Complex arguments are computed
+// during the sequence and have no pre-existing source to check against.
+func (em *emitter) shuffleAssigns(t *ir.Call) []vm.ShuffleAssign {
+	if len(t.ShuffleArgs) == 0 {
+		return nil
+	}
+	nreg := len(t.Args)
+	if nreg > em.cfg.ArgRegs {
+		nreg = em.cfg.ArgRegs
+	}
+	var out []vm.ShuffleAssign
+	record := func(e ir.Expr, target int) {
+		vr, ok := e.(*ir.VarRef)
+		if !ok {
+			return
+		}
+		v := vr.Var
+		switch v.Loc.Kind {
+		case ir.LocSlot:
+			out = append(out, vm.ShuffleAssign{Target: target, Src: v.Loc.Index, SrcIsSlot: true})
+		case ir.LocReg:
+			r := v.Loc.Index
+			switch {
+			case v.CSReg >= 0 && em.saved.Has(r):
+				out = append(out, vm.ShuffleAssign{Target: target, Src: v.CSReg})
+			case em.stale.Has(r):
+				if em.saved.Has(r) && em.regVar[r] == v && v.SaveSlot >= 0 {
+					out = append(out, vm.ShuffleAssign{Target: target, Src: v.SaveSlot, SrcIsSlot: true})
+				}
+			default:
+				out = append(out, vm.ShuffleAssign{Target: target, Src: r})
+			}
+		}
+	}
+	for i := 0; i < nreg; i++ {
+		record(t.Args[i], t.ShuffleArgs[i].Target)
+	}
+	record(t.Fn, t.ShuffleArgs[len(t.ShuffleArgs)-1].Target)
+	return out
 }
 
 // ensureFresh makes register r's in-register copy valid, restoring it
@@ -486,6 +547,7 @@ func (em *emitter) emitBind(t *ir.Bind, dst int) {
 	if t.Var.Loc.Kind == ir.LocReg {
 		r := t.Var.Loc.Index
 		em.emitExpr(t.Rhs, r)
+		em.releaseCS(r)
 		old := em.regVar[r]
 		em.regVar[r] = t.Var
 		em.saved = em.saved.Remove(r)
@@ -495,6 +557,7 @@ func (em *emitter) emitBind(t *ir.Bind, dst int) {
 			em.emitSaves(regset.Single(r), true)
 		}
 		em.emitExpr(t.Body, dst)
+		em.releaseCS(r)
 		em.regVar[r] = old
 		em.saved = em.saved.Remove(r)
 		em.stale = em.stale.Remove(r)
@@ -602,6 +665,7 @@ func (em *emitter) emitFix(t *ir.Fix, dst int) {
 			patches = append(patches, patch{owner: v, freeSlot: fs, src: src})
 		}
 		if v.Loc.Kind == ir.LocReg {
+			em.releaseCS(target)
 			oldVars[i] = em.regVar[target]
 			em.regVar[target] = v
 			em.saved = em.saved.Remove(target)
@@ -655,6 +719,7 @@ func (em *emitter) emitFix(t *ir.Fix, dst int) {
 	for i, v := range t.Vars {
 		if v.Loc.Kind == ir.LocReg {
 			r := v.Loc.Index
+			em.releaseCS(r)
 			em.regVar[r] = oldVars[i]
 			em.saved = em.saved.Remove(r)
 			em.stale = em.stale.Remove(r)
@@ -668,6 +733,12 @@ func (em *emitter) emitCall(t *ir.Call, dst int) {
 	cg := em.cg
 	cfg := em.cfg
 	effTail := t.Tail && !t.CallCC
+
+	// Record the shuffle's parallel assignment for the translation
+	// validator before any of the call sequence is emitted: the sources
+	// name where each simple argument's value lives right now.
+	shStart := len(cg.code)
+	shAssigns := em.shuffleAssigns(t)
 
 	if !t.LateSaves.IsEmpty() {
 		em.emitSaves(t.LateSaves, false)
@@ -825,6 +896,14 @@ func (em *emitter) emitCall(t *ir.Call, dst int) {
 	default:
 		em.patchFrameB = append(em.patchFrameB, len(cg.code))
 		cg.emit(vm.Instr{Op: vm.OpCall, A: len(t.Args)})
+	}
+
+	if len(shAssigns) > 0 {
+		cg.shuffles = append(cg.shuffles, vm.ShuffleRecord{
+			StartPC: shStart,
+			CallPC:  len(cg.code) - 1,
+			Assigns: shAssigns,
+		})
 	}
 
 	em.releaseTemps(mark)

@@ -118,6 +118,11 @@ type Options struct {
 	// the selected save strategy, and the previous contents are restored
 	// at procedure exits.
 	CalleeSave bool
+	// Verify runs the internal/verify translation validator over the
+	// generated code as a compiler post-pass: a compilation whose output
+	// breaks the save/restore/shuffle invariants fails instead of
+	// producing code that misbehaves at run time.
+	Verify bool
 }
 
 // DefaultOptions is the paper's configuration: lazy saves, eager

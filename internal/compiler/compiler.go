@@ -13,6 +13,7 @@ import (
 	"repro/internal/passes"
 	"repro/internal/prelude"
 	"repro/internal/prim"
+	"repro/internal/verify"
 	"repro/internal/vm"
 )
 
@@ -58,6 +59,11 @@ func Compile(src string, opts Options) (*Compiled, error) {
 	code, stats, err := codegen.Compile(irProg, opts.Options)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Verify {
+		if verr := verify.Check(code); verr != nil {
+			return nil, verr
+		}
 	}
 	return &Compiled{Program: code, IR: irProg, Stats: stats}, nil
 }

@@ -188,6 +188,10 @@ func fuzzConfigs() []Options {
 		o.Restores = r
 		o.Shuffle = sh
 		o.CalleeSave = cs
+		// Every fuzzed compile also runs the static translation
+		// validator, so structural violations are caught even when the
+		// behavioral diff coincidentally agrees.
+		o.Verify = true
 		return o
 	}
 	def := vm.DefaultConfig()
@@ -231,6 +235,31 @@ func TestFuzzDifferential(t *testing.T) {
 		if prim.WriteString(got) != prim.WriteString(want) {
 			t.Fatalf("seed %d: compiled %s, interpreted %s\nprogram:\n%s",
 				seed, prim.WriteString(got), prim.WriteString(want), src)
+		}
+	}
+}
+
+// TestFuzzVerifyAllSaveStrategies statically verifies every generated
+// program under all four save strategies (the behavioral tests sample
+// one configuration per seed; save placement differs structurally
+// across strategies, so each must uphold the invariants on its own).
+func TestFuzzVerifyAllSaveStrategies(t *testing.T) {
+	n := 150
+	if testing.Short() {
+		n = 25
+	}
+	strategies := []codegen.SaveStrategy{
+		codegen.SaveLazy, codegen.SaveEarly, codegen.SaveLate, codegen.SaveSimple,
+	}
+	for seed := int64(0); seed < int64(n); seed++ {
+		src := generateProgram(seed)
+		for _, s := range strategies {
+			opts := DefaultOptions()
+			opts.Saves = s
+			opts.Verify = true
+			if _, err := Compile(src, opts); err != nil {
+				t.Fatalf("seed %d strategy %v: %v\nprogram:\n%s", seed, s, err, src)
+			}
 		}
 	}
 }

@@ -1,0 +1,185 @@
+package verify_test
+
+// The negative corpus: compile small programs, corrupt the emitted code
+// in targeted ways (drop a save, drop a restore, misdirect a shuffle
+// move, point a jump out of range, lie about arity), and check the
+// validator rejects each with the right violation kind. The positive
+// half checks clean compilations verify empty across the allocator's
+// strategy matrix.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/compiler"
+	"repro/internal/verify"
+	"repro/internal/vm"
+)
+
+// callSrc has a variable live across a non-tail call, so the allocator
+// must save x before calling g and (eagerly) restore it after.
+const callSrc = `(define (g y) (* y 2)) (define (f x) (+ (g x) x)) (f 3)`
+
+// swapSrc calls with its parameters exchanged, forcing a shuffle cycle.
+const swapSrc = `(define (g a b) (- a b)) (define (f x y) (g y x)) (f 7 3)`
+
+// branchSrc has an if, so the emitted code contains a jump.
+const branchSrc = `(define (f n) (if (< n 0) 0 n)) (f 3)`
+
+func mustCompile(t *testing.T, src string, mod func(*compiler.Options)) *vm.Program {
+	t.Helper()
+	opts := compiler.DefaultOptions()
+	opts.NoPrelude = true
+	if mod != nil {
+		mod(&opts)
+	}
+	c, err := compiler.Compile(src, opts)
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	return c.Program
+}
+
+// findInstr returns the pc of the first instruction matching pred.
+func findInstr(t *testing.T, p *vm.Program, what string, pred func(vm.Instr) bool) int {
+	t.Helper()
+	for pc, in := range p.Code {
+		if pred(in) {
+			return pc
+		}
+	}
+	t.Fatalf("no %s in:\n%s", what, p.Disassemble())
+	return -1
+}
+
+// requireKind asserts at least one violation of the given kind and
+// returns the first.
+func requireKind(t *testing.T, vs []verify.Violation, k verify.Kind) verify.Violation {
+	t.Helper()
+	for _, v := range vs {
+		if v.Kind == k {
+			return v
+		}
+	}
+	t.Fatalf("wanted a %v violation, got %d violations: %v", k, len(vs), vs)
+	return verify.Violation{}
+}
+
+func TestVerifyCleanMatrix(t *testing.T) {
+	srcs := []string{callSrc, swapSrc, branchSrc,
+		`(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))) (fib 10)`,
+	}
+	saves := []codegen.SaveStrategy{codegen.SaveLazy, codegen.SaveEarly, codegen.SaveLate, codegen.SaveSimple}
+	restores := []codegen.RestorePolicy{codegen.RestoreEager, codegen.RestoreLazy}
+	for _, src := range srcs {
+		for _, s := range saves {
+			for _, r := range restores {
+				p := mustCompile(t, src, func(o *compiler.Options) {
+					o.Saves = s
+					o.Restores = r
+				})
+				if vs := verify.Program(p); len(vs) != 0 {
+					t.Errorf("saves=%v restores=%v %q: %v", s, r, src, vs)
+				}
+			}
+		}
+	}
+	// Callee-save mode exercises a different save/restore shape (§2.4).
+	p := mustCompile(t, callSrc, func(o *compiler.Options) {
+		o.Config.CalleeSaveRegs = 3
+		o.CalleeSave = true
+	})
+	if vs := verify.Program(p); len(vs) != 0 {
+		t.Errorf("callee-save: %v", vs)
+	}
+}
+
+// nop overwrites pc with a jump to the next instruction: a control-flow
+// no-op that neither reads nor writes any cell, i.e. the instruction is
+// dropped from every path without perturbing the rest of the code.
+func nop(p *vm.Program, pc int) {
+	p.Code[pc] = vm.Instr{Op: vm.OpJump, A: pc + 1}
+}
+
+func TestDroppedSaveRejected(t *testing.T) {
+	p := mustCompile(t, callSrc, nil)
+	pc := findInstr(t, p, "user-register save", func(in vm.Instr) bool {
+		return in.Op == vm.OpStoreSlot && in.Kind == vm.KindSave &&
+			in.A != vm.RegRet && in.A != vm.RegCP
+	})
+	nop(p, pc)
+	v := requireKind(t, verify.Program(p), verify.MissingSave)
+	if len(v.Witness) == 0 {
+		t.Errorf("missing-save violation carries no witness path: %v", v)
+	}
+}
+
+func TestDroppedRestoreRejected(t *testing.T) {
+	p := mustCompile(t, callSrc, nil)
+	pc := findInstr(t, p, "user-register restore", func(in vm.Instr) bool {
+		return in.Op == vm.OpLoadSlot && in.Kind == vm.KindRestore &&
+			in.A != vm.RegRet && in.A != vm.RegCP
+	})
+	nop(p, pc)
+	v := requireKind(t, verify.Program(p), verify.MissingRestore)
+	if len(v.Witness) == 0 || v.Witness[len(v.Witness)-1] != v.PC {
+		t.Errorf("witness should end at the violating pc %d: %v", v.PC, v.Witness)
+	}
+}
+
+func TestCorruptShuffleRejected(t *testing.T) {
+	p := mustCompile(t, swapSrc, nil)
+	if len(p.Shuffles) == 0 {
+		t.Fatalf("expected shuffle records in:\n%s", p.Disassemble())
+	}
+	corrupted := false
+	for _, rec := range p.Shuffles {
+		for pc := rec.StartPC; pc < rec.CallPC && !corrupted; pc++ {
+			if in := p.Code[pc]; in.Op == vm.OpMove && in.A != in.B {
+				// Self-move: the target register keeps its old value
+				// instead of receiving the assigned source.
+				p.Code[pc].B = in.A
+				corrupted = true
+			}
+		}
+	}
+	if !corrupted {
+		t.Fatalf("no register-register shuffle move found in:\n%s", p.Disassemble())
+	}
+	requireKind(t, verify.Program(p), verify.ShuffleMismatch)
+}
+
+func TestOutOfRangeJumpRejected(t *testing.T) {
+	p := mustCompile(t, branchSrc, nil)
+	pc := findInstr(t, p, "jump", func(in vm.Instr) bool { return in.Op == vm.OpJump })
+	p.Code[pc].A = len(p.Code) + 5
+	requireKind(t, verify.Program(p), verify.BadJump)
+}
+
+func TestArityMismatchRejected(t *testing.T) {
+	p := mustCompile(t, callSrc, nil)
+	pc := findInstr(t, p, "entry", func(in vm.Instr) bool { return in.Op == vm.OpEntry })
+	p.Code[pc].A++
+	requireKind(t, verify.Program(p), verify.BadArity)
+}
+
+func TestCheckError(t *testing.T) {
+	p := mustCompile(t, callSrc, nil)
+	if err := verify.Check(p); err != nil {
+		t.Fatalf("clean program: %v", err)
+	}
+	pc := findInstr(t, p, "user-register save", func(in vm.Instr) bool {
+		return in.Op == vm.OpStoreSlot && in.Kind == vm.KindSave &&
+			in.A != vm.RegRet && in.A != vm.RegCP
+	})
+	nop(p, pc)
+	err := verify.Check(p)
+	verr, ok := err.(*verify.Error)
+	if !ok {
+		t.Fatalf("want *verify.Error, got %T: %v", err, err)
+	}
+	if len(verr.Violations) == 0 || !strings.Contains(err.Error(), "missing-save") {
+		t.Errorf("error should name the violation kind: %v", err)
+	}
+}

@@ -1,0 +1,188 @@
+package verify
+
+// Witness reconstruction: a reported violation carries one concrete
+// static path from the procedure entry to the offending instruction
+// along which the cell is in the bad state. The search runs a BFS over
+// (pc, cell-state) nodes with a three-value concrete simulation of the
+// single cell involved — far cheaper than the full abstract state, and
+// enough to pick the path a developer should read.
+
+import "repro/internal/vm"
+
+const (
+	cUndef uint8 = iota
+	cDef
+	cClob
+)
+
+// witnessCell finds a shortest path from the entry to target arriving
+// with the simulated cell in state want. trans advances the cell state
+// across the instruction at pc.
+func (pv *procVerifier) witnessCell(target int, init uint8, want uint8, trans func(pc int, k uint8) uint8) []int {
+	n := pv.end - pv.start
+	const nStates = 3
+	parent := make([]int32, n*nStates)
+	for i := range parent {
+		parent[i] = -1
+	}
+	node := func(pc int, k uint8) int { return (pc-pv.start)*nStates + int(k) }
+	startNode := node(pv.start, init)
+	parent[startNode] = int32(startNode)
+	queue := []int{startNode}
+	goal := -1
+	if pv.start == target && init == want {
+		goal = startNode
+	}
+	var buf [2]int
+	for len(queue) > 0 && goal < 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		pc := pv.start + cur/nStates
+		k := uint8(cur % nStates)
+		nk := trans(pc, k)
+		for _, succ := range pv.succs(pc, buf[:]) {
+			nn := node(succ, nk)
+			if parent[nn] >= 0 {
+				continue
+			}
+			parent[nn] = int32(cur)
+			if succ == target && nk == want {
+				goal = nn
+				break
+			}
+			queue = append(queue, nn)
+		}
+	}
+	if goal < 0 {
+		return pv.witnessPath(target)
+	}
+	var rev []int
+	for at := goal; ; at = int(parent[at]) {
+		rev = append(rev, pv.start+at/nStates)
+		if at == int(parent[at]) {
+			break
+		}
+	}
+	path := make([]int, len(rev))
+	for i, pc := range rev {
+		path[len(rev)-1-i] = pc
+	}
+	return path
+}
+
+// witnessReg finds a path on which register r arrives at pc in the
+// given abstract state (aUndef or aClob).
+func (pv *procVerifier) witnessReg(pc, r int, want absKind) []int {
+	init := cUndef
+	if r == vm.RegRet || r == vm.RegCP || pv.regDefinedAtEntry(r) {
+		init = cDef
+	}
+	goal := cUndef
+	if want == aClob {
+		goal = cClob
+	}
+	return pv.witnessCell(pc, init, goal, func(at int, k uint8) uint8 {
+		e := pv.eff[at-pv.start]
+		if e.Defs.Has(r) {
+			return cDef
+		}
+		if e.Clobbers.Has(r) {
+			return cClob
+		}
+		return k
+	})
+}
+
+// regDefinedAtEntry reports whether the calling convention defines r on
+// procedure entry (parameters and callee-saves; ret/cp handled by the
+// caller).
+func (pv *procVerifier) regDefinedAtEntry(r int) bool {
+	nArgRegs := pv.info.NArgs
+	if nArgRegs > pv.cfg.ArgRegs {
+		nArgRegs = pv.cfg.ArgRegs
+	}
+	for i := 0; i < nArgRegs; i++ {
+		if pv.cfg.ArgReg(i) == r {
+			return true
+		}
+	}
+	for i := 0; i < pv.cfg.CalleeSaveRegs; i++ {
+		if pv.cfg.CalleeSaveReg(i) == r {
+			return true
+		}
+	}
+	return false
+}
+
+// witnessSlot finds a path on which frame slot sl arrives at pc unwritten.
+func (pv *procVerifier) witnessSlot(pc, sl int) []int {
+	init := cUndef
+	if sl < pv.stackParams {
+		init = cDef
+	}
+	return pv.witnessCell(pc, init, cUndef, func(at int, k uint8) uint8 {
+		for _, w := range pv.eff[at-pv.start].WriteSlots {
+			if w == sl {
+				return cDef
+			}
+		}
+		return k
+	})
+}
+
+// witnessOut finds a path on which outgoing slot o arrives at pc
+// unwritten since the last call.
+func (pv *procVerifier) witnessOut(pc, o int) []int {
+	return pv.witnessCell(pc, cUndef, cUndef, func(at int, k uint8) uint8 {
+		e := pv.eff[at-pv.start]
+		if e.IsCall {
+			return cUndef
+		}
+		for _, w := range e.WriteOuts {
+			if w == o {
+				return cDef
+			}
+		}
+		return k
+	})
+}
+
+// witnessPath finds any shortest path from the entry to pc.
+func (pv *procVerifier) witnessPath(target int) []int {
+	n := pv.end - pv.start
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[0] = 0
+	if target == pv.start {
+		return []int{pv.start}
+	}
+	queue := []int{pv.start}
+	var buf [2]int
+	for len(queue) > 0 {
+		pc := queue[0]
+		queue = queue[1:]
+		for _, succ := range pv.succs(pc, buf[:]) {
+			i := succ - pv.start
+			if parent[i] >= 0 {
+				continue
+			}
+			parent[i] = int32(pc)
+			if succ == target {
+				var rev []int
+				for at := succ; at != pv.start; at = int(parent[at-pv.start]) {
+					rev = append(rev, at)
+				}
+				rev = append(rev, pv.start)
+				path := make([]int, len(rev))
+				for j, p := range rev {
+					path[len(rev)-1-j] = p
+				}
+				return path
+			}
+			queue = append(queue, succ)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+package vm
+
+import "repro/internal/regset"
+
+// This file is the instruction set's single def/use decoding truth: the
+// machine (poisoning, operand decoding) and the static verifier
+// (internal/verify) both consume it, so a new opcode only needs its
+// operand semantics described once. The exhaustiveness test in
+// defuse_test.go asserts every opcode through NumOps is covered.
+
+// NumOps is the number of defined opcodes; every Op is in [0, NumOps).
+const NumOps = int(OpReturn) + 1
+
+// IsSlotOperand reports whether an OpPrim/OpClosure operand encodes a
+// frame slot rather than a register (negative values denote slots).
+func IsSlotOperand(r int) bool { return r < 0 }
+
+// SlotOperand decodes the frame-slot index of a slot operand.
+func SlotOperand(r int) int { return ^r }
+
+// CallerSaveLimit returns the first register that is NOT caller-save
+// (the callee-save registers, when configured, survive calls).
+func (c Config) CallerSaveLimit() int {
+	if c.CalleeSaveRegs > 0 {
+		return c.CalleeSaveReg(0)
+	}
+	return c.NumRegs()
+}
+
+// CallClobbers returns the registers a completed non-tail call destroys:
+// every caller-save register except the return-value register. The
+// machine's restore-validation poisoning and the verifier's abstract
+// call effect are both defined by this set.
+func CallClobbers(c Config) regset.Set {
+	return regset.Universe(c.CallerSaveLimit()).Remove(RegRV)
+}
+
+// Effects describes one instruction's def/use behaviour for dataflow
+// analyses. Register sets depend on the register configuration (calls
+// read the argument registers the configuration assigns).
+type Effects struct {
+	// Uses are the registers the instruction reads.
+	Uses regset.Set
+	// Defs are the registers the instruction writes with a defined value.
+	Defs regset.Set
+	// Clobbers are the registers the instruction destroys (call
+	// boundaries: the caller-save set minus rv).
+	Clobbers regset.Set
+	// ReadSlots / WriteSlots are the caller-frame slots read and written.
+	ReadSlots  []int
+	WriteSlots []int
+	// ReadOuts / WriteOuts are outgoing-argument (callee-frame) slots
+	// read (by the call dispatch) and written.
+	ReadOuts  []int
+	WriteOuts []int
+	// Jump is the static branch/jump target, -1 if none.
+	Jump int
+	// FallsThrough reports whether control can continue at pc+1.
+	FallsThrough bool
+	// IsCall marks instructions that invoke a callee and return
+	// (OpCall, OpCallCC); IsExit marks instructions that leave the
+	// procedure (OpHalt, OpReturn, OpTailCall).
+	IsCall bool
+	IsExit bool
+}
+
+// operandEffects folds an OpPrim/OpClosure operand list into uses.
+func operandEffects(e *Effects, regs []int) {
+	for _, r := range regs {
+		if IsSlotOperand(r) {
+			e.ReadSlots = append(e.ReadSlots, SlotOperand(r))
+		} else {
+			e.Uses = e.Uses.Add(r)
+		}
+	}
+}
+
+// callArgUses returns the registers a call with argc arguments consumes:
+// the closure pointer plus the register-passed arguments.
+func callArgUses(c Config, argc int) regset.Set {
+	uses := regset.Single(RegCP)
+	n := argc
+	if n > c.ArgRegs {
+		n = c.ArgRegs
+	}
+	for i := 0; i < n; i++ {
+		uses = uses.Add(c.ArgReg(i))
+	}
+	return uses
+}
+
+// stackArgSlots returns the slot indices of the stack-passed arguments
+// of a call with argc arguments (empty when they all fit in registers).
+func stackArgSlots(c Config, argc int) []int {
+	if argc <= c.ArgRegs {
+		return nil
+	}
+	slots := make([]int, 0, argc-c.ArgRegs)
+	for k := 0; k < argc-c.ArgRegs; k++ {
+		slots = append(slots, k)
+	}
+	return slots
+}
+
+// InstrEffects decodes the def/use behaviour of in under configuration
+// c. The second result is false for an unknown opcode.
+func (in Instr) InstrEffects(c Config) (Effects, bool) {
+	e := Effects{Jump: -1, FallsThrough: true}
+	switch in.Op {
+	case OpHalt:
+		e.Uses = regset.Single(RegRV)
+		e.FallsThrough = false
+		e.IsExit = true
+	case OpEntry:
+		// Arity check and stack reservation only; the call that reached
+		// here defined ret, cp, and the argument registers.
+	case OpMove:
+		e.Uses = regset.Single(in.B)
+		e.Defs = regset.Single(in.A)
+	case OpLoadConst, OpLoadGlobal:
+		e.Defs = regset.Single(in.A)
+	case OpStoreGlobal:
+		e.Uses = regset.Single(in.A)
+	case OpLoadSlot:
+		e.Defs = regset.Single(in.A)
+		e.ReadSlots = []int{in.B}
+	case OpStoreSlot:
+		e.Uses = regset.Single(in.A)
+		e.WriteSlots = []int{in.B}
+	case OpStoreOut:
+		e.Uses = regset.Single(in.A)
+		e.WriteOuts = []int{in.B}
+	case OpPrim, OpClosure:
+		operandEffects(&e, in.Regs)
+		e.Defs = regset.Single(in.A)
+	case OpClosurePatch:
+		e.Uses = regset.Of(in.A, in.C)
+	case OpFreeRef:
+		e.Uses = regset.Single(RegCP)
+		e.Defs = regset.Single(in.A)
+	case OpJump:
+		e.Jump = in.A
+		e.FallsThrough = false
+	case OpBranchFalse:
+		e.Uses = regset.Single(in.A)
+		e.Jump = in.B
+	case OpCall:
+		e.Uses = callArgUses(c, in.A)
+		e.ReadOuts = stackArgSlots(c, in.A)
+		e.Defs = regset.Single(RegRV)
+		e.Clobbers = CallClobbers(c)
+		e.IsCall = true
+	case OpTailCall:
+		e.Uses = callArgUses(c, in.A).Add(RegRet)
+		e.ReadSlots = stackArgSlots(c, in.A)
+		e.FallsThrough = false
+		e.IsExit = true
+	case OpCallCC:
+		// The machine itself delivers the captured continuation as the
+		// single argument, so no argument registers are read.
+		e.Uses = regset.Single(RegCP)
+		e.Defs = regset.Single(RegRV)
+		e.Clobbers = CallClobbers(c)
+		e.IsCall = true
+	case OpReturn:
+		e.Uses = regset.Of(RegRet, RegRV)
+		e.FallsThrough = false
+		e.IsExit = true
+	default:
+		return Effects{}, false
+	}
+	return e, true
+}

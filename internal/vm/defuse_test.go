@@ -1,0 +1,101 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/regset"
+)
+
+// testConfig exercises every register class, including callee-saves.
+func testConfig() Config {
+	return Config{ArgRegs: 2, UserRegs: 2, ScratchRegs: 2, CalleeSaveRegs: 2}
+}
+
+// TestInstrEffectsExhaustive asserts the def/use decoder covers every
+// opcode: adding an Op without extending InstrEffects fails here.
+func TestInstrEffectsExhaustive(t *testing.T) {
+	cfg := testConfig()
+	for op := 0; op < NumOps; op++ {
+		in := Instr{Op: Op(op), A: 3, B: 0, C: 0}
+		if _, ok := in.InstrEffects(cfg); !ok {
+			t.Errorf("InstrEffects does not cover opcode %d (%v)", op, Op(op))
+		}
+	}
+	if _, ok := (Instr{Op: Op(NumOps)}).InstrEffects(cfg); ok {
+		t.Errorf("InstrEffects accepted out-of-range opcode %d; bump NumOps?", NumOps)
+	}
+}
+
+func TestInstrEffectsDecoding(t *testing.T) {
+	cfg := testConfig()
+
+	// A two-operand prim with one register and one slot operand.
+	e, ok := (Instr{Op: OpPrim, A: 4, Regs: []int{5, ^2}}).InstrEffects(cfg)
+	if !ok {
+		t.Fatal("prim not decoded")
+	}
+	if !e.Uses.Has(5) || e.Uses.Len() != 1 {
+		t.Errorf("prim uses = %v, want {r5}", e.Uses)
+	}
+	if !e.Defs.Has(4) {
+		t.Errorf("prim defs = %v, want {r4}", e.Defs)
+	}
+	if len(e.ReadSlots) != 1 || e.ReadSlots[0] != 2 {
+		t.Errorf("prim read slots = %v, want [2]", e.ReadSlots)
+	}
+
+	// A call with one stack argument: reads cp + both arg registers,
+	// defines rv, clobbers the caller-save set minus rv.
+	e, _ = (Instr{Op: OpCall, A: 3, B: 8}).InstrEffects(cfg)
+	want := regset.Of(RegCP, cfg.ArgReg(0), cfg.ArgReg(1))
+	if e.Uses != want {
+		t.Errorf("call uses = %v, want %v", e.Uses, want)
+	}
+	if len(e.ReadOuts) != 1 || e.ReadOuts[0] != 0 {
+		t.Errorf("call out-slot reads = %v, want [0]", e.ReadOuts)
+	}
+	if !e.Defs.Has(RegRV) || !e.IsCall {
+		t.Errorf("call defs/IsCall = %v/%v", e.Defs, e.IsCall)
+	}
+	if e.Clobbers != CallClobbers(cfg) {
+		t.Errorf("call clobbers = %v, want %v", e.Clobbers, CallClobbers(cfg))
+	}
+	if e.Clobbers.Has(RegRV) {
+		t.Error("call clobbers must exclude rv")
+	}
+	for i := 0; i < cfg.CalleeSaveRegs; i++ {
+		if e.Clobbers.Has(cfg.CalleeSaveReg(i)) {
+			t.Errorf("call clobbers include callee-save r%d", cfg.CalleeSaveReg(i))
+		}
+	}
+
+	// A tail call's stack arguments live in the caller's own frame.
+	e, _ = (Instr{Op: OpTailCall, A: 4}).InstrEffects(cfg)
+	if len(e.ReadSlots) != 2 || e.ReadSlots[0] != 0 || e.ReadSlots[1] != 1 {
+		t.Errorf("tail-call slot reads = %v, want [0 1]", e.ReadSlots)
+	}
+	if !e.Uses.Has(RegRet) || !e.IsExit || e.FallsThrough {
+		t.Errorf("tail call uses/exit/fallthrough = %v/%v/%v", e.Uses, e.IsExit, e.FallsThrough)
+	}
+
+	// Branches expose both edges; jumps only one.
+	e, _ = (Instr{Op: OpBranchFalse, A: 6, B: 42}).InstrEffects(cfg)
+	if e.Jump != 42 || !e.FallsThrough {
+		t.Errorf("branch jump/fallthrough = %d/%v", e.Jump, e.FallsThrough)
+	}
+	e, _ = (Instr{Op: OpJump, A: 7}).InstrEffects(cfg)
+	if e.Jump != 7 || e.FallsThrough {
+		t.Errorf("jump jump/fallthrough = %d/%v", e.Jump, e.FallsThrough)
+	}
+
+	// Slot-operand encoding round-trips.
+	if !IsSlotOperand(^3) || SlotOperand(^3) != 3 || IsSlotOperand(3) {
+		t.Error("slot operand encoding broken")
+	}
+
+	// Without callee-saves every register above rv is clobbered.
+	flat := Config{ArgRegs: 2, UserRegs: 2, ScratchRegs: 2}
+	if got := CallClobbers(flat).Len(); got != flat.NumRegs()-1 {
+		t.Errorf("flat clobbers = %d regs, want %d", got, flat.NumRegs()-1)
+	}
+}

@@ -132,6 +132,30 @@ type Program struct {
 	PrimGlobals  []*prim.Def
 	// Config is the register layout the code was compiled for.
 	Config Config
+	// Shuffles documents each call site's argument shuffle as a parallel
+	// assignment so the translation validator (internal/verify) can check
+	// the emitted move sequence against the allocator's intent.
+	Shuffles []ShuffleRecord
+}
+
+// ShuffleAssign is one transfer a call's argument shuffle must realize:
+// after the shuffle, register Target must hold the value the source
+// cell (register Src, or frame slot Src when SrcIsSlot) held when the
+// call sequence began.
+type ShuffleAssign struct {
+	Target    int
+	Src       int
+	SrcIsSlot bool
+}
+
+// ShuffleRecord describes one call site's parallel assignment: the
+// instructions in [StartPC, CallPC) must implement Assigns as a
+// simultaneous substitution. Only simple (variable-reference) arguments
+// are recorded; complex arguments have no pre-existing source cell.
+type ShuffleRecord struct {
+	StartPC int
+	CallPC  int
+	Assigns []ShuffleAssign
 }
 
 // ProcInfo is per-procedure metadata.
@@ -201,8 +225,8 @@ func (p *Program) FormatInstr(in Instr) string {
 		}
 	}
 	operand := func(r int) string {
-		if r < 0 {
-			return fmt.Sprintf("fp[%d]", ^r)
+		if IsSlotOperand(r) {
+			return fmt.Sprintf("fp[%d]", SlotOperand(r))
 		}
 		return reg(r)
 	}

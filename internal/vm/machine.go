@@ -452,10 +452,10 @@ func (m *Machine) doPrim(in *Instr) error {
 // Slot operands behave like a load consumed immediately: they pay the
 // memory penalty plus a full load-use stall.
 func (m *Machine) readOperand(r int) (prim.Value, error) {
-	if r >= 0 {
+	if !IsSlotOperand(r) {
 		return m.readReg(r)
 	}
-	v, err := m.loadSlot(m.fp+^r, KindTemp)
+	v, err := m.loadSlot(m.fp+SlotOperand(r), KindTemp)
 	if err != nil {
 		return nil, err
 	}
@@ -546,13 +546,10 @@ func (m *Machine) poisonAfterCall() {
 	if !m.ValidateRestores {
 		return
 	}
-	callerSave := m.callerSaveLimit()
-	for r := 0; r < callerSave; r++ {
-		if r != RegRV {
-			m.regs[r] = poison{}
-			m.readyAt[r] = 0
-		}
-	}
+	CallClobbers(m.cfg).ForEach(func(r int) {
+		m.regs[r] = poison{}
+		m.readyAt[r] = 0
+	})
 }
 
 // poisonAtEntry invalidates everything a fresh activation may not read:
@@ -578,10 +575,7 @@ func (m *Machine) poisonAtEntry(argc int) {
 // callerSaveLimit returns the first register that is NOT caller-save
 // (callee-save registers survive calls).
 func (m *Machine) callerSaveLimit() int {
-	if m.cfg.CalleeSaveRegs > 0 {
-		return m.cfg.CalleeSaveReg(0)
-	}
-	return m.cfg.NumRegs()
+	return m.cfg.CallerSaveLimit()
 }
 
 // copyConst deep-copies constants containing mutable structure so each

@@ -24,6 +24,7 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/compiler"
 	"repro/internal/prim"
+	"repro/internal/verify"
 	"repro/internal/vm"
 )
 
@@ -96,6 +97,11 @@ type Options struct {
 	ShuffleStats bool
 	// NoPrelude omits the Scheme runtime library.
 	NoPrelude bool
+	// Verify runs the static translation validator over the emitted code
+	// as a compiler post-pass: it proves the lazy-save, eager-restore and
+	// shuffle invariants hold on every static path, and Compile fails
+	// with the violations otherwise.
+	Verify bool
 }
 
 // DefaultOptions is the paper's configuration: six argument and six user
@@ -125,8 +131,19 @@ func (o Options) internal() compiler.Options {
 	out.PredictBranches = o.PredictBranches
 	out.ComputeShuffleStats = o.ShuffleStats
 	out.NoPrelude = o.NoPrelude
+	out.Verify = o.Verify
 	return out
 }
+
+// VerifyError is the error returned by Compile when Options.Verify is
+// set and the translation validator rejects the emitted code. It
+// carries the individual violations for structured reporting.
+type VerifyError = verify.Error
+
+// Violation is one translation-validator finding: which invariant broke
+// (missing save, missing restore, shuffle mismatch, ...), where, and a
+// static path witnessing it.
+type Violation = verify.Violation
 
 // Stats are static compilation measurements.
 type Stats = codegen.Stats

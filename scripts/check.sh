@@ -1,0 +1,34 @@
+#!/bin/sh
+# Pre-PR gate: build, vet, test, then sweep the translation validator
+# over the benchmark suite and the examples (every compilation in the
+# examples runs with Options.Verify on). Usage:
+#
+#   scripts/check.sh          # full test budget
+#   scripts/check.sh -short   # short fuzzer budget
+set -eu
+cd "$(dirname "$0")/.."
+
+short=""
+if [ "${1:-}" = "-short" ]; then
+    short="-short"
+fi
+
+echo "== go build =="
+go build ./...
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test =="
+go test $short ./...
+
+echo "== verifier sweep: benchmark suite, every configuration =="
+go run ./cmd/lsrbench -verify
+
+echo "== verifier sweep: examples =="
+for d in examples/*/; do
+    echo "-- $d"
+    go run "./$d" > /dev/null
+done
+
+echo "check.sh: all gates passed"
