@@ -13,6 +13,8 @@
 //	lsrbench -branch             # §6 branch prediction study
 //	lsrbench -compiletime        # §4 compile-time profile
 //	lsrbench -verify             # static translation validation sweep
+//	lsrbench -lint               # static optimality (waste) sweep
+//	lsrbench -waste              # static-vs-dynamic waste cross-validation
 //	lsrbench -suite quick        # restrict tables to a fast subset
 package main
 
@@ -35,6 +37,8 @@ func main() {
 		compileTime = flag.Bool("compiletime", false, "§4 compile-time profile")
 		ablation    = flag.Bool("ablation", false, "§2.1 simple-vs-revised save-algorithm ablation")
 		verifySweep = flag.Bool("verify", false, "statically verify every benchmark under every swept configuration")
+		lintSweep   = flag.Bool("lint", false, "run the optimality analyzer over every benchmark under every swept configuration")
+		wasteTable  = flag.Bool("waste", false, "cross-validate static waste counts against the machine's dynamic counters")
 		all         = flag.Bool("all", false, "run everything")
 		suite       = flag.String("suite", "full", "benchmark subset: full or quick")
 	)
@@ -145,6 +149,20 @@ func main() {
 	if *all || *verifySweep {
 		section(func() error {
 			text, err := bench.VerifySweep(progs)
+			fmt.Print(text)
+			return err
+		})
+	}
+	if *all || *lintSweep {
+		section(func() error {
+			text, err := bench.LintSweep(progs)
+			fmt.Print(text)
+			return err
+		})
+	}
+	if *all || *wasteTable {
+		section(func() error {
+			text, err := bench.WasteTable(progs)
 			fmt.Print(text)
 			return err
 		})

@@ -12,7 +12,14 @@
 // policy (-restores eager|lazy), shuffler (-shuffle greedy|optimal|naive),
 // register counts (-argregs N -userregs N), the callee-save mode
 // (-calleesave N), and diagnostics (-dump, -stats, -validate, -verify,
-// -interp, -bench NAME).
+// -lint, -json, -interp, -bench NAME).
+//
+// -verify proves the emitted code sound (translation validation);
+// -lint reports allocation waste the sound code still carries
+// (redundant saves, dead restores, suboptimal shuffles) plus a static
+// cycle estimate, and exits nonzero on waste the paper's algorithms
+// promise never to emit. -json renders either pass's findings as
+// structured JSON on stdout.
 package main
 
 import (
@@ -38,6 +45,8 @@ func main() {
 		predict   = flag.Bool("predict", false, "enable static branch prediction")
 		noPrelude = flag.Bool("no-prelude", false, "omit the Scheme runtime library")
 		verifyPP  = flag.Bool("verify", false, "statically verify the emitted code (translation validation)")
+		lintPP    = flag.Bool("lint", false, "run the optimality analyzer and report allocation waste (skips execution)")
+		jsonOut   = flag.Bool("json", false, "emit -verify/-lint findings as JSON")
 		dump      = flag.Bool("dump", false, "print the compiled code")
 		stats     = flag.Bool("stats", false, "print machine counters after the run")
 		validate  = flag.Bool("validate", false, "poison registers at call boundaries (restore validation)")
@@ -67,16 +76,21 @@ func main() {
 		fail(err)
 	}
 	opts.Verify = *verifyPP
+	opts.Lint = *lintPP
 	prog, err := lsr.Compile(src, opts)
 	if err != nil {
 		var verr *lsr.VerifyError
 		if errors.As(err, &verr) {
-			failVerify(verr)
+			failVerify(verr, *jsonOut)
 		}
 		fail(err)
 	}
 	if *dump {
 		fmt.Print(prog.Disassemble())
+	}
+	if *lintPP {
+		reportLint(prog.Lint, *jsonOut)
+		return
 	}
 	run := prog.Run
 	if *validate {
@@ -145,11 +159,40 @@ func fail(err error) {
 
 // failVerify prints each translation-validation violation on its own
 // line — the invariant that broke, the offending pc and instruction,
-// and a static path witnessing the failure — then exits nonzero.
-func failVerify(verr *lsr.VerifyError) {
+// and a static path witnessing the failure — then exits nonzero. With
+// json set the violations go to stdout in the structured finding
+// format instead.
+func failVerify(verr *lsr.VerifyError, json bool) {
+	if json {
+		r := lsr.StructuredReport{Tool: "verify", Findings: lsr.VerifyFindings(verr)}
+		if err := lsr.WriteFindings(os.Stdout, r); err != nil {
+			fail(err)
+		}
+		os.Exit(1)
+	}
 	fmt.Fprintf(os.Stderr, "lsrc: translation validation failed: %d violation(s)\n", len(verr.Violations))
 	for _, v := range verr.Violations {
 		fmt.Fprintf(os.Stderr, "  %s\n", v)
 	}
 	os.Exit(1)
+}
+
+// reportLint renders the optimality analyzer's report — human-readable
+// or as structured JSON — and exits nonzero when the code carries waste
+// the paper's algorithms promise never to emit (a redundant save or an
+// excess shuffle move; dead restores are inherent eager-restore
+// overhead and only informational).
+func reportLint(rep *lsr.LintReport, json bool) {
+	if json {
+		r := lsr.StructuredReport{Tool: "lint", Findings: rep.Structured(), Summary: rep.Totals}
+		if err := lsr.WriteFindings(os.Stdout, r); err != nil {
+			fail(err)
+		}
+	} else {
+		fmt.Print(rep.Render())
+	}
+	if err := rep.WasteError(); err != nil {
+		fmt.Fprintln(os.Stderr, "lsrc:", err)
+		os.Exit(1)
+	}
 }

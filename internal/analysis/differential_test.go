@@ -1,0 +1,159 @@
+package analysis_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/bench"
+	"repro/internal/compiler"
+	"repro/internal/vm"
+)
+
+// genStraightLine produces a random branch-free, call-free expression
+// over the lexical variables in scope: integer literals, variable
+// references, arithmetic primitives and let bindings. No if/and/or, no
+// procedure calls — so the compiled main body is a single static path
+// and the analyzer's cost scan must agree with the machine exactly.
+func genStraightLine(rng *rand.Rand, vars []string, depth int) string {
+	if depth <= 0 || rng.Intn(4) == 0 {
+		if len(vars) > 0 && rng.Intn(2) == 0 {
+			return vars[rng.Intn(len(vars))]
+		}
+		return fmt.Sprint(rng.Intn(19) - 9)
+	}
+	switch rng.Intn(5) {
+	case 0:
+		return fmt.Sprintf("(+ %s %s)",
+			genStraightLine(rng, vars, depth-1), genStraightLine(rng, vars, depth-1))
+	case 1:
+		return fmt.Sprintf("(- %s %s)",
+			genStraightLine(rng, vars, depth-1), genStraightLine(rng, vars, depth-1))
+	case 2:
+		return fmt.Sprintf("(* %s %s)",
+			genStraightLine(rng, vars, depth-1), genStraightLine(rng, vars, depth-1))
+	case 3:
+		v := fmt.Sprintf("v%d", rng.Int63n(1_000_000))
+		inner := append(append([]string(nil), vars...), v)
+		return fmt.Sprintf("(let ([%s %s]) %s)",
+			v, genStraightLine(rng, vars, depth-1), genStraightLine(rng, inner, depth-1))
+	default:
+		return fmt.Sprintf("(car (cons %s %s))",
+			genStraightLine(rng, vars, depth-1), genStraightLine(rng, vars, depth-1))
+	}
+}
+
+// runCounters compiles src (no prelude) and executes it under the
+// default cost model, returning the compiled program and the machine's
+// counters.
+func runCounters(t *testing.T, src string, opts compiler.Options) (*vm.Program, *vm.Counters) {
+	t.Helper()
+	opts.NoPrelude = true
+	c, err := compiler.Compile(src, opts)
+	if err != nil {
+		t.Fatalf("compile: %v\nprogram: %s", err, src)
+	}
+	m := vm.New(c.Program, nil)
+	m.SetCostModel(vm.DefaultCostModel())
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("run: %v\nprogram: %s", err, src)
+	}
+	return c.Program, &m.Counters
+}
+
+// TestStraightLineCycleAgreement is the differential cross-validation
+// of the static cost model (ISSUE acceptance bar): on branch-free,
+// call-free programs the per-procedure static cycle and instruction
+// estimate must equal the machine's dynamic counters exactly — both
+// with registers (paper config) and on the stack baseline, where every
+// variable access pays the memory and load-latency penalties.
+func TestStraightLineCycleAgreement(t *testing.T) {
+	configs := map[string]compiler.Options{
+		"paper":    bench.PaperOptions(),
+		"baseline": bench.BaselineOptions(),
+	}
+	for cname, opts := range configs {
+		for seed := int64(0); seed < 40; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			// Wrap in a final addition so the last write to rv comes
+			// from the primitive, like any real program result.
+			src := fmt.Sprintf("(+ 0 %s)", genStraightLine(rng, nil, 4))
+
+			prog, counters := runCounters(t, src, opts)
+			rep := analysis.AnalyzeWithCost(prog, vm.DefaultCostModel())
+			main := rep.Procs[prog.MainIndex]
+			if !main.Analyzed {
+				t.Fatalf("%s seed %d: main not analyzed", cname, seed)
+			}
+			// The machine returns from main to the bootstrap halt at
+			// code[0], one instruction (one cycle) outside any
+			// procedure's extent — the only dynamic cost the static
+			// per-procedure scan does not see.
+			if int64(main.Instructions)+1 != counters.Instructions {
+				t.Errorf("%s seed %d: static %d instructions (+1 halt), machine executed %d\nprogram: %s",
+					cname, seed, main.Instructions, counters.Instructions, src)
+			}
+			if main.Cycles+1 != counters.Cycles {
+				t.Errorf("%s seed %d: static estimate %d cycles (+1 halt), machine measured %d (stalls %d)\nprogram: %s",
+					cname, seed, main.Cycles, counters.Cycles, counters.StallCycles, src)
+			}
+			if main.StallCycles != counters.StallCycles {
+				t.Errorf("%s seed %d: static %d stall cycles, machine %d\nprogram: %s",
+					cname, seed, main.StallCycles, counters.StallCycles, src)
+			}
+		}
+	}
+}
+
+// TestCallDAGSlotTrafficAgreement extends the differential check
+// across calls: procedures with straight-line bodies calling one
+// another in a DAG. Stall timing at call boundaries is deliberately
+// conservative in the static scan, but slot traffic is exact, so the
+// static per-procedure save/restore/arg/temp/var counts, weighted by
+// each procedure's dynamic activation count, must equal the machine's
+// per-kind counters.
+func TestCallDAGSlotTrafficAgreement(t *testing.T) {
+	configs := map[string]compiler.Options{
+		"paper":    bench.PaperOptions(),
+		"late":     bench.StrategyOptions(2), // codegen.SaveLate
+		"baseline": bench.BaselineOptions(),
+	}
+	for cname, opts := range configs {
+		for seed := int64(0); seed < 25; seed++ {
+			rng := rand.New(rand.NewSource(1000 + seed))
+			e := func() string { return genStraightLine(rng, []string{"x"}, 3) }
+			e2 := func() string { return genStraightLine(rng, []string{"x", "y"}, 3) }
+			var b strings.Builder
+			fmt.Fprintf(&b, "(define (f0 x) %s)\n", e())
+			fmt.Fprintf(&b, "(define (f1 x y) (+ (f0 x) (+ (f0 y) %s)))\n", e2())
+			fmt.Fprintf(&b, "(define (f2 x) (+ (f1 x %s) (f0 (+ x 1))))\n", e())
+			fmt.Fprintf(&b, "(+ (f2 4) (f1 2 3))")
+			src := b.String()
+
+			prog, counters := runCounters(t, src, opts)
+			rep := analysis.AnalyzeWithCost(prog, vm.DefaultCostModel())
+
+			var reads, writes [vm.NumSlotKinds]int64
+			for i, pc := range rep.Procs {
+				if !pc.Analyzed {
+					t.Fatalf("%s seed %d: proc %s not analyzed", cname, seed, prog.Procs[i].Name)
+				}
+				acts := counters.PerProc[i].Activations
+				for k := 0; k < vm.NumSlotKinds; k++ {
+					reads[k] += acts * int64(pc.SlotReads[k])
+					writes[k] += acts * int64(pc.SlotWrites[k])
+				}
+			}
+			if reads != counters.ReadsByKind {
+				t.Errorf("%s seed %d: static slot reads by kind %v, machine %v\nprogram: %s",
+					cname, seed, reads, counters.ReadsByKind, src)
+			}
+			if writes != counters.WritesByKind {
+				t.Errorf("%s seed %d: static slot writes by kind %v, machine %v\nprogram: %s",
+					cname, seed, writes, counters.WritesByKind, src)
+			}
+		}
+	}
+}

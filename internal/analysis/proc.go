@@ -1,0 +1,275 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/regset"
+	"repro/internal/verify"
+	"repro/internal/vm"
+)
+
+// maxPasses bounds the backward liveness fixpoints. Procedure bodies
+// are forward DAGs (the verifier reports backward jumps), so a couple
+// of decreasing-address passes converge; the cap only guards malformed
+// code, which is then skipped.
+const maxPasses = 64
+
+// procAnalysis analyzes one procedure extent.
+type procAnalysis struct {
+	p       *vm.Program
+	cfg     vm.Config
+	cm      vm.CostModel
+	info    vm.ProcInfo
+	procIdx int
+	start   int
+	end     int
+	frame   int
+	nRegs   int
+	pf      *verify.PathFinder
+	rep     *Report
+	cost    *ProcCost
+
+	// regLiveIn / slotLiveIn hold the backward may-liveness results:
+	// the registers (frame slots) that some downstream path reads
+	// before overwriting, per pc.
+	regLiveIn  []regset.Set
+	slotLiveIn [][]uint64
+
+	// shufflePC marks instructions counted as shuffle data movement,
+	// for the cost scan's attribution.
+	shufflePC map[int]bool
+}
+
+func newProcAnalysis(p *vm.Program, cm vm.CostModel, ext verify.ProcExtent, procIdx int, rep *Report) *procAnalysis {
+	pf, ok := verify.NewPathFinder(p, ext.Start, ext.End)
+	if !ok {
+		return nil
+	}
+	entry := p.Code[ext.Start]
+	if entry.Op != vm.OpEntry || entry.B < 0 {
+		return nil
+	}
+	return &procAnalysis{
+		p:         p,
+		cfg:       p.Config,
+		cm:        cm,
+		info:      ext.Info,
+		procIdx:   procIdx,
+		start:     ext.Start,
+		end:       ext.End,
+		frame:     entry.B,
+		nRegs:     p.Config.NumRegs(),
+		pf:        pf,
+		rep:       rep,
+		cost:      &rep.Procs[procIdx],
+		shufflePC: map[int]bool{},
+	}
+}
+
+func (pa *procAnalysis) run() {
+	pa.cost.Analyzed = true
+	pa.cost.Instructions = pa.end - pa.start
+	pa.regLiveness()
+	pa.slotLiveness()
+	pa.checkSavesAndRestores()
+	pa.checkShuffles()
+	pa.costScan()
+}
+
+func (pa *procAnalysis) report(f Finding) {
+	f.Proc = pa.info.Name
+	if f.PC >= 0 && f.PC < len(pa.p.Code) {
+		f.Op = pa.p.Code[f.PC].Op
+		f.Instr = pa.p.FormatInstr(pa.p.Code[f.PC])
+	}
+	pa.rep.Findings = append(pa.rep.Findings, f)
+}
+
+// csRegs is the callee-save register set: treated as read at every
+// procedure exit, since the caller relies on their values (§2.4).
+func (pa *procAnalysis) csRegs() regset.Set {
+	var s regset.Set
+	for i := 0; i < pa.cfg.CalleeSaveRegs; i++ {
+		s = s.Add(pa.cfg.CalleeSaveReg(i))
+	}
+	return s
+}
+
+// regLiveness computes backward may-liveness of registers over the
+// extent: regLiveIn[pc] holds r iff some path from pc reads r before
+// any instruction defines or destroys it.
+func (pa *procAnalysis) regLiveness() {
+	n := pa.end - pa.start
+	pa.regLiveIn = make([]regset.Set, n)
+	cs := pa.csRegs()
+	var buf [2]int
+	for pass := 0; pass < maxPasses; pass++ {
+		changed := false
+		for pc := pa.end - 1; pc >= pa.start; pc-- {
+			e := pa.pf.Effects(pc)
+			var out regset.Set
+			for _, succ := range pa.pf.Succs(pc, buf[:]) {
+				out = out.Union(pa.regLiveIn[succ-pa.start])
+			}
+			in := e.Uses.Union(out.Minus(e.Defs.Union(e.Clobbers)))
+			if e.IsExit {
+				in = in.Union(cs)
+			}
+			if in != pa.regLiveIn[pc-pa.start] {
+				pa.regLiveIn[pc-pa.start] = in
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// regLiveOut reports whether register r is live immediately after pc.
+func (pa *procAnalysis) regLiveOut(pc, r int) bool {
+	var buf [2]int
+	for _, succ := range pa.pf.Succs(pc, buf[:]) {
+		if pa.regLiveIn[succ-pa.start].Has(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// slotLiveness computes backward may-liveness of frame slots:
+// slotLiveIn[pc] holds slot s iff some path from pc reads fp[s] before
+// any instruction overwrites it. Tail-call stack arguments and prim
+// slot operands count as reads (vm.Effects.ReadSlots covers both).
+func (pa *procAnalysis) slotLiveness() {
+	n := pa.end - pa.start
+	words := (pa.frame + 63) / 64
+	pa.slotLiveIn = make([][]uint64, n)
+	for i := range pa.slotLiveIn {
+		pa.slotLiveIn[i] = make([]uint64, words)
+	}
+	if words == 0 {
+		return
+	}
+	next := make([]uint64, words)
+	var buf [2]int
+	for pass := 0; pass < maxPasses; pass++ {
+		changed := false
+		for pc := pa.end - 1; pc >= pa.start; pc-- {
+			e := pa.pf.Effects(pc)
+			for w := range next {
+				next[w] = 0
+			}
+			for _, succ := range pa.pf.Succs(pc, buf[:]) {
+				sp := pa.slotLiveIn[succ-pa.start]
+				for w := range next {
+					next[w] |= sp[w]
+				}
+			}
+			for _, s := range e.WriteSlots {
+				if s >= 0 && s < pa.frame {
+					next[s/64] &^= 1 << (s % 64)
+				}
+			}
+			for _, s := range e.ReadSlots {
+				if s >= 0 && s < pa.frame {
+					next[s/64] |= 1 << (s % 64)
+				}
+			}
+			in := pa.slotLiveIn[pc-pa.start]
+			for w := range next {
+				if next[w] != in[w] {
+					in[w] = next[w]
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// slotLiveOut reports whether frame slot s is live immediately after pc.
+func (pa *procAnalysis) slotLiveOut(pc, s int) bool {
+	var buf [2]int
+	for _, succ := range pa.pf.Succs(pc, buf[:]) {
+		if pa.slotLiveIn[succ-pa.start][s/64]&(1<<(s%64)) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// checkSavesAndRestores scans the extent for the two liveness-based
+// waste checks and accumulates the static site counts.
+func (pa *procAnalysis) checkSavesAndRestores() {
+	for pc := pa.start; pc < pa.end; pc++ {
+		in := pa.p.Code[pc]
+		switch {
+		case in.Op == vm.OpStoreSlot && in.Kind == vm.KindSave:
+			pa.cost.Saves++
+			if in.B < 0 || in.B >= pa.frame {
+				continue
+			}
+			if !pa.slotLiveOut(pc, in.B) {
+				pa.report(Finding{
+					Kind: RedundantSave, PC: pc, Reg: in.A, Slot: in.B, CallPC: -1, Excess: 1,
+					Msg: fmt.Sprintf("save of r%d into fp[%d] is never read on any path before the slot dies — a lazy save placement would omit it",
+						in.A, in.B),
+					Witness: pa.witnessThrough(pc, pa.slotDeathPath(pc, in.B)),
+				})
+			}
+		case in.Op == vm.OpLoadSlot && in.Kind == vm.KindRestore:
+			pa.cost.Restores++
+			if !pa.regLiveOut(pc, in.A) {
+				pa.report(Finding{
+					Kind: DeadRestore, PC: pc, Reg: in.A, Slot: in.B, CallPC: -1, Excess: 1,
+					Msg: fmt.Sprintf("restore of r%d from fp[%d] is redefined or destroyed on every path before any read — eager-restore overhead (§3)",
+						in.A, in.B),
+					Witness: pa.witnessThrough(pc, pa.regDeathPath(pc, in.A)),
+				})
+			}
+		}
+	}
+}
+
+// slotDeathPath finds a shortest path from pc to the point where the
+// saved slot dies: the first overwrite of the slot, or a procedure
+// exit. Because the slot is dead after pc, no path reads it first.
+func (pa *procAnalysis) slotDeathPath(pc, slot int) []int {
+	return pa.pf.PathFrom(pc, func(q int) bool {
+		if q == pc {
+			return false
+		}
+		e := pa.pf.Effects(q)
+		for _, s := range e.WriteSlots {
+			if s == slot {
+				return true
+			}
+		}
+		return e.IsExit && !e.FallsThrough && e.Jump < 0
+	}, nil)
+}
+
+// regDeathPath finds a shortest path from pc to the point where the
+// restored register dies: the first redefinition or call clobber, or a
+// procedure exit.
+func (pa *procAnalysis) regDeathPath(pc, r int) []int {
+	return pa.pf.PathFrom(pc, func(q int) bool {
+		if q == pc {
+			return false
+		}
+		e := pa.pf.Effects(q)
+		return e.Defs.Has(r) || e.Clobbers.Has(r) || (e.IsExit && !e.FallsThrough && e.Jump < 0)
+	}, nil)
+}
+
+// witnessThrough joins the entry→pc witness with the pc→death tail.
+func (pa *procAnalysis) witnessThrough(pc int, tail []int) []int {
+	path := pa.pf.WitnessPath(pc)
+	if len(tail) > 1 {
+		path = append(path, tail[1:]...)
+	}
+	return path
+}

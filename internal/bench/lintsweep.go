@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/codegen"
+	"repro/internal/compiler"
+	"repro/internal/vm"
+)
+
+// sweepConfigs are the seven allocator configurations every static
+// sweep (verify, lint) exercises: the four save strategies, both
+// restore policies, the callee-save mode and the stack baseline.
+func sweepConfigs() []struct {
+	name string
+	opts compiler.Options
+} {
+	lazyRestores := PaperOptions()
+	lazyRestores.Restores = codegen.RestoreLazy
+	return []struct {
+		name string
+		opts compiler.Options
+	}{
+		{"saves=lazy restores=eager", PaperOptions()},
+		{"saves=early", StrategyOptions(codegen.SaveEarly)},
+		{"saves=late", StrategyOptions(codegen.SaveLate)},
+		{"saves=simple", StrategyOptions(codegen.SaveSimple)},
+		{"saves=lazy restores=lazy", lazyRestores},
+		{"callee-save", CalleeSaveOptions(codegen.SaveLazy)},
+		{"baseline (no registers)", BaselineOptions()},
+	}
+}
+
+// LintSweep runs the optimality analyzer over every benchmark under all
+// seven sweep configurations. It returns a summary table; the error is
+// non-nil when any compilation produces gated waste — a redundant save
+// or an excess shuffle move, which the paper's algorithms promise never
+// to emit. Dead restores (inherent eager-restore overhead, §3) are
+// tallied but do not fail the sweep.
+func LintSweep(progs []*Program) (string, error) {
+	var b strings.Builder
+	cfgs := sweepConfigs()
+	fmt.Fprintf(&b, "Optimality lint: %d programs x %d configurations\n", len(progs), len(cfgs))
+	var firstErr error
+	for _, c := range cfgs {
+		var t analysis.Summary
+		for _, p := range progs {
+			compiled, err := compiler.Compile(p.Source, c.opts)
+			if err != nil {
+				return b.String(), fmt.Errorf("%s under %s: %w", p.Name, c.name, err)
+			}
+			rep := analysis.Analyze(compiled.Program)
+			if err := rep.WasteError(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("%s under %s: %w", p.Name, c.name, err)
+			}
+			t.RedundantSaves += rep.Totals.RedundantSaves
+			t.DeadRestores += rep.Totals.DeadRestores
+			t.ExcessShuffleMoves += rep.Totals.ExcessShuffleMoves
+			t.ExcessShuffleTemps += rep.Totals.ExcessShuffleTemps
+			t.Saves += rep.Totals.Saves
+			t.Restores += rep.Totals.Restores
+			t.ShuffleMoves += rep.Totals.ShuffleMoves
+			t.ShuffleWindows += rep.Totals.ShuffleWindows
+			t.ShuffleWindowsChecked += rep.Totals.ShuffleWindowsChecked
+		}
+		status := "ok"
+		if t.RedundantSaves > 0 || t.ExcessShuffleMoves > 0 {
+			status = "WASTE"
+		}
+		fmt.Fprintf(&b, "  %-28s %-5s saves=%-5d restores=%-5d shuffle-moves=%-5d (windows %d/%d) redundant-saves=%d dead-restores=%d excess-moves=%d excess-temps=%d\n",
+			c.name, status, t.Saves, t.Restores, t.ShuffleMoves,
+			t.ShuffleWindowsChecked, t.ShuffleWindows,
+			t.RedundantSaves, t.DeadRestores, t.ExcessShuffleMoves, t.ExcessShuffleTemps)
+	}
+	return b.String(), firstErr
+}
+
+// WasteTable cross-validates the static analyzer against the machine:
+// for each benchmark and save strategy it reports static save/restore
+// sites and waste findings next to the dynamic save writes and restore
+// reads, plus the ratio of the static cycle estimate (per-procedure
+// estimate weighted by dynamic activation counts) to the measured
+// cycles. The error is non-nil if a run fails or gated waste appears.
+func WasteTable(progs []*Program) (string, error) {
+	strategies := []codegen.SaveStrategy{
+		codegen.SaveLazy, codegen.SaveEarly, codegen.SaveLate, codegen.SaveSimple,
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-8s %7s %7s %9s %9s %6s %6s %6s %8s\n",
+		"program", "saves", "s-save", "s-rest", "d-save", "d-rest",
+		"redun", "dead", "xmove", "est/dyn")
+	var firstErr error
+	for _, p := range progs {
+		for _, s := range strategies {
+			opts := StrategyOptions(s)
+			m, err := Measure(p, opts)
+			if err != nil {
+				return b.String(), err
+			}
+			compiled, err := compiler.Compile(p.Source, opts)
+			if err != nil {
+				return b.String(), err
+			}
+			rep := analysis.Analyze(compiled.Program)
+			if werr := rep.WasteError(); werr != nil && firstErr == nil {
+				firstErr = fmt.Errorf("%s saves=%s: %w", p.Name, s, werr)
+			}
+			// Static cycle estimate: per-procedure straight-through
+			// estimate weighted by how often each procedure actually ran.
+			var est int64
+			for i, pc := range rep.Procs {
+				if i < len(m.Counters.PerProc) {
+					est += pc.Cycles * m.Counters.PerProc[i].Activations
+				}
+			}
+			ratio := 0.0
+			if m.Counters.Cycles > 0 {
+				ratio = float64(est) / float64(m.Counters.Cycles)
+			}
+			fmt.Fprintf(&b, "%-12s %-8s %7d %7d %9d %9d %6d %6d %6d %8.2f\n",
+				p.Name, s, rep.Totals.Saves, rep.Totals.Restores,
+				m.Counters.WritesByKind[vm.KindSave], m.Counters.ReadsByKind[vm.KindRestore],
+				rep.Totals.RedundantSaves, rep.Totals.DeadRestores,
+				rep.Totals.ExcessShuffleMoves, ratio)
+		}
+	}
+	return b.String(), firstErr
+}

@@ -1,0 +1,19 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLintSweep is the optimality acceptance bar: zero redundant saves
+// and zero excess shuffle moves across the whole evaluation suite
+// under every swept configuration.
+func TestLintSweep(t *testing.T) {
+	table, err := LintSweep(All())
+	if err != nil {
+		t.Fatalf("%v\n%s", err, table)
+	}
+	if strings.Contains(table, "WASTE") {
+		t.Fatalf("sweep table reports waste without an error:\n%s", table)
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/codegen"
 	"repro/internal/compiler"
 )
 
@@ -14,21 +13,7 @@ import (
 // It returns a summary table; the error is non-nil if any compilation
 // fails translation validation (and carries the violations).
 func VerifySweep(progs []*Program) (string, error) {
-	type sweepCfg struct {
-		name string
-		opts compiler.Options
-	}
-	lazyRestores := PaperOptions()
-	lazyRestores.Restores = codegen.RestoreLazy
-	cfgs := []sweepCfg{
-		{"saves=lazy restores=eager", PaperOptions()},
-		{"saves=early", StrategyOptions(codegen.SaveEarly)},
-		{"saves=late", StrategyOptions(codegen.SaveLate)},
-		{"saves=simple", StrategyOptions(codegen.SaveSimple)},
-		{"saves=lazy restores=lazy", lazyRestores},
-		{"callee-save", CalleeSaveOptions(codegen.SaveLazy)},
-		{"baseline (no registers)", BaselineOptions()},
-	}
+	cfgs := sweepConfigs()
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "Translation validation: %d programs x %d configurations\n", len(progs), len(cfgs))

@@ -483,11 +483,23 @@ func (a *analyzer) walkCall(t *ir.Call, after flow) (flow, synth) {
 
 	// Late-save strategy: save the live registers right before the call.
 	// The saves read those registers, which counts as a reference for
-	// the restore analysis.
+	// the restore analysis. When every path through the argument
+	// evaluation itself performs a non-tail call, that nested call's own
+	// late saves cover a superset of this call's (liveness only grows
+	// from the nested call back toward this one, and a register shares
+	// its save slot everywhere in the procedure), so saving here would
+	// emit stores that are overwritten before they can be read. The
+	// coverage test uses the §2.1.1 one-set S[E], whose plain branch
+	// intersection matches how pass 2 merges its saved-register state at
+	// joins (S_t/S_f's vacuous-path refinement would overclaim here).
 	if a.cg.opts.Saves == SaveLate && !effTail {
 		t.LateSaves = t.LiveAfter
-		before.refs = before.refs.Union(t.LateSaves)
-		before.live = before.live.Union(t.LateSaves)
+		if t.LiveAfter.SubsetOf(argsS.simple.S) {
+			t.LateSaves = regset.Empty
+		} else {
+			before.refs = before.refs.Union(t.LateSaves)
+			before.live = before.live.Union(t.LateSaves)
+		}
 	} else {
 		t.LateSaves = regset.Empty
 	}

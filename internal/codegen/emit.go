@@ -266,6 +266,24 @@ func (em *emitter) varReadReg(v *ir.Var) int {
 	return r
 }
 
+// csShadowSource reports the callee-save shadow register holding e's
+// value, when e is a variable reference whose value has moved there.
+// Such a source is immune to the argument shuffle (targets and
+// temporaries never come from the callee-save file) and survives any
+// call the shuffle plan performs, so it can be read at any point of the
+// call sequence.
+func (em *emitter) csShadowSource(e ir.Expr) (int, bool) {
+	vr, ok := e.(*ir.VarRef)
+	if !ok {
+		return 0, false
+	}
+	v := vr.Var
+	if v.Loc.Kind == ir.LocReg && v.CSReg >= 0 && em.saved.Has(v.Loc.Index) {
+		return v.CSReg, true
+	}
+	return 0, false
+}
+
 // shuffleAssigns records, for the translation validator, where each
 // simple (variable-reference) shuffle argument's value lives as the
 // call sequence begins: in the callee-save shadow once the variable has
@@ -812,10 +830,22 @@ func (em *emitter) emitCall(t *ir.Call, dst int) {
 	// The register shuffle plan. Targets become argument carriers: they
 	// are marked repurposed so the lazy policy's save-region-exit
 	// restores cannot clobber the pending values.
+	//
+	// The plan was computed against home registers; a simple argument
+	// whose value has moved to its callee-save shadow needs no staging
+	// at all, because the shuffle neither targets nor clobbers the
+	// callee-save file — the shadow is read directly at move time.
 	argTemps := map[int]int{}
+	argCS := map[int]int{}
 	for _, step := range t.Plan.Steps {
 		expr := exprs[step.Arg]
 		target := t.ShuffleArgs[step.Arg].Target
+		if step.Dest != core.DestTarget {
+			if cs, ok := em.csShadowSource(expr); ok {
+				argCS[step.Arg] = cs
+				continue
+			}
+		}
 		switch step.Dest {
 		case core.DestTarget:
 			em.repurposed = em.repurposed.Add(target)
@@ -843,6 +873,10 @@ func (em *emitter) emitCall(t *ir.Call, dst int) {
 	for _, argIdx := range t.Plan.Moves {
 		target := t.ShuffleArgs[argIdx].Target
 		em.repurposed = em.repurposed.Add(target)
+		if cs, ok := argCS[argIdx]; ok {
+			cg.emit(vm.Instr{Op: vm.OpMove, A: target, B: cs})
+			continue
+		}
 		if tmp, ok := argTemps[argIdx]; ok {
 			cg.emit(vm.Instr{Op: vm.OpLoadSlot, A: target, B: tmp, Kind: vm.KindTemp})
 			continue

@@ -123,6 +123,12 @@ type Options struct {
 	// breaks the save/restore/shuffle invariants fails instead of
 	// producing code that misbehaves at run time.
 	Verify bool
+	// Lint runs the internal/analysis optimality analyzer over the
+	// generated code as a compiler post-pass. Unlike Verify it never
+	// fails the compilation: the waste report (redundant saves, dead
+	// restores, suboptimal shuffles, static cost estimate) is attached
+	// to the compilation result for the caller to inspect or gate on.
+	Lint bool
 }
 
 // DefaultOptions is the paper's configuration: lazy saves, eager

@@ -7,6 +7,7 @@ package compiler
 import (
 	"io"
 
+	"repro/internal/analysis"
 	"repro/internal/ast"
 	"repro/internal/codegen"
 	"repro/internal/interp"
@@ -35,6 +36,8 @@ type Compiled struct {
 	Program *vm.Program
 	IR      *irProgramAlias
 	Stats   codegen.Stats
+	// Lint is the optimality analyzer's report (nil unless Options.Lint).
+	Lint *analysis.Report
 }
 
 // irProgramAlias avoids exporting internal/ir in the public surface
@@ -65,7 +68,11 @@ func Compile(src string, opts Options) (*Compiled, error) {
 			return nil, verr
 		}
 	}
-	return &Compiled{Program: code, IR: irProg, Stats: stats}, nil
+	c := &Compiled{Program: code, IR: irProg, Stats: stats}
+	if opts.Lint {
+		c.Lint = analysis.Analyze(code)
+	}
+	return c, nil
 }
 
 // Run compiles and executes source, returning the result value and the

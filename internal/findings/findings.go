@@ -1,0 +1,57 @@
+// Package findings defines the structured finding format shared by the
+// static passes that run over compiled VM code: the translation
+// validator (internal/verify) and the optimality analyzer
+// (internal/analysis). Both report the same shape — a kind, the
+// offending pc, the register/slot involved and a shortest static path
+// witness — so tooling (lsrc -json, CI gates) consumes one format.
+package findings
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Finding is one statically detected fact about compiled code: either
+// an invariant violation (tool "verify") or detected waste
+// (tool "lint").
+type Finding struct {
+	// Tool identifies the producing pass: "verify" or "lint".
+	Tool string `json:"tool"`
+	// Kind is the pass-specific finding kind (e.g. "missing-restore",
+	// "redundant-save").
+	Kind string `json:"kind"`
+	// Proc names the enclosing procedure ("" if none).
+	Proc string `json:"proc,omitempty"`
+	// PC is the offending instruction's address (-1 if none).
+	PC int `json:"pc"`
+	// Instr is the disassembled instruction at PC ("" if none).
+	Instr string `json:"instr,omitempty"`
+	// Reg is the register involved, Slot the frame or outgoing slot
+	// involved (-1 if none).
+	Reg  int `json:"reg"`
+	Slot int `json:"slot"`
+	// CallPC is the related call's address (-1 if none).
+	CallPC int `json:"call_pc"`
+	// Msg is a one-line human description.
+	Msg string `json:"msg"`
+	// Witness is a static control path from the procedure entry to the
+	// point where the finding manifests.
+	Witness []int `json:"witness,omitempty"`
+}
+
+// Report is the JSON envelope emitted by lsrc -json: the findings of
+// one pass over one program, plus an optional pass-specific summary.
+type Report struct {
+	Tool     string    `json:"tool"`
+	Findings []Finding `json:"findings"`
+	// Summary carries pass-specific aggregate counts (the lint pass's
+	// waste totals); nil for passes without one.
+	Summary any `json:"summary,omitempty"`
+}
+
+// WriteJSON renders r as indented JSON followed by a newline.
+func WriteJSON(w io.Writer, r Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,112 @@
+package regset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// The set is a single 64-bit word; register numbers at and past the
+// word boundary must degrade predictably (out-of-range members simply
+// do not exist — Go shifts by >= 64 bits yield zero), because the
+// allocator sizes its universe from the machine configuration and the
+// analyses trust Universe/Single to agree about the boundary.
+func TestWordBoundary(t *testing.T) {
+	// Index 63 is the last representable register.
+	if s := Single(63); s.IsEmpty() || !s.Has(63) || s.Len() != 1 {
+		t.Errorf("Single(63) = %s", s)
+	}
+	if got := Of(0, 63).Regs(); len(got) != 2 || got[1] != 63 {
+		t.Errorf("Of(0,63).Regs() = %v", got)
+	}
+
+	// Indices 64 and 65 are out of range: their singletons are empty,
+	// adding them is a no-op, and membership is always false.
+	for _, r := range []int{64, 65} {
+		if s := Single(r); !s.IsEmpty() {
+			t.Errorf("Single(%d) = %s, want empty", r, s)
+		}
+		if s := Of(1, 2).Add(r); s != Of(1, 2) {
+			t.Errorf("Add(%d) changed the set: %s", r, s)
+		}
+		if Empty.Has(r) || Universe(64).Has(r) {
+			t.Errorf("Has(%d) true", r)
+		}
+		if s := Universe(64).Remove(r); s != Universe(64) {
+			t.Errorf("Remove(%d) changed the universe: %s", r, s)
+		}
+	}
+
+	// Universe saturates at the word: 64, 65 and beyond are all ^0.
+	full := ^Set(0)
+	for _, n := range []int{64, 65, 1000} {
+		if Universe(n) != full {
+			t.Errorf("Universe(%d) = %s, want full word", n, Universe(n))
+		}
+	}
+	if Universe(63) == full || Universe(63).Len() != 63 {
+		t.Errorf("Universe(63) = %v members", Universe(63).Len())
+	}
+}
+
+func TestEmptySetIteration(t *testing.T) {
+	Empty.ForEach(func(r int) { t.Errorf("ForEach on empty visited r%d", r) })
+	if regs := Empty.Regs(); len(regs) != 0 {
+		t.Errorf("Empty.Regs() = %v", regs)
+	}
+	if Empty.Len() != 0 || !Empty.IsEmpty() {
+		t.Error("Empty is not empty")
+	}
+	if Of() != Empty {
+		t.Error("Of() != Empty")
+	}
+}
+
+// Property: identities at arbitrary sets, including ones with bit 63
+// set (testing/quick generates full-range uint64 values for Set).
+func TestBoundaryAlgebraProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 1000}
+
+	// Of(Regs(s)) round-trips every set.
+	roundTrip := func(s Set) bool { return Of(s.Regs()...) == s }
+	if err := quick.Check(roundTrip, cfg); err != nil {
+		t.Error(err)
+	}
+
+	// Len agrees with iteration.
+	lenAgrees := func(s Set) bool {
+		n := 0
+		s.ForEach(func(int) { n++ })
+		return n == s.Len() && n == len(s.Regs())
+	}
+	if err := quick.Check(lenAgrees, cfg); err != nil {
+		t.Error(err)
+	}
+
+	// De Morgan within the full-word universe: ¬(a ∪ b) == ¬a ∩ ¬b.
+	u := ^Set(0)
+	deMorgan := func(a, b Set) bool {
+		return u.Minus(a.Union(b)) == u.Minus(a).Intersect(u.Minus(b))
+	}
+	if err := quick.Check(deMorgan, cfg); err != nil {
+		t.Error(err)
+	}
+
+	// Union/intersection are idempotent, commutative and associative.
+	lattice := func(a, b, c Set) bool {
+		return a.Union(a) == a && a.Intersect(a) == a &&
+			a.Union(b) == b.Union(a) && a.Intersect(b) == b.Intersect(a) &&
+			a.Union(b.Union(c)) == a.Union(b).Union(c) &&
+			a.Intersect(b.Intersect(c)) == a.Intersect(b).Intersect(c)
+	}
+	if err := quick.Check(lattice, cfg); err != nil {
+		t.Error(err)
+	}
+
+	// SubsetOf is the lattice order: s ⊆ t iff s ∪ t == t.
+	order := func(a, b Set) bool {
+		return a.SubsetOf(b) == (a.Union(b) == b)
+	}
+	if err := quick.Check(order, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/findings"
 	"repro/internal/vm"
 )
 
@@ -162,6 +163,32 @@ func formatWitness(path []int) string {
 	return strings.Join(parts, "→")
 }
 
+// Finding converts the violation to the structured finding format
+// shared with the optimality analyzer (internal/analysis).
+func (v Violation) Finding() findings.Finding {
+	return findings.Finding{
+		Tool:    "verify",
+		Kind:    v.Kind.String(),
+		Proc:    v.Proc,
+		PC:      v.PC,
+		Instr:   v.Instr,
+		Reg:     v.Reg,
+		Slot:    v.Slot,
+		CallPC:  v.CallPC,
+		Msg:     v.Msg,
+		Witness: v.Witness,
+	}
+}
+
+// Findings converts a violation list to structured findings.
+func Findings(vs []Violation) []findings.Finding {
+	out := make([]findings.Finding, len(vs))
+	for i, v := range vs {
+		out[i] = v.Finding()
+	}
+	return out
+}
+
 // Error aggregates the violations of one program.
 type Error struct {
 	Violations []Violation
@@ -220,6 +247,28 @@ type procRange struct {
 	info  vm.ProcInfo
 	start int
 	end   int
+}
+
+// ProcExtent is one procedure's contiguous code extent [Start, End),
+// exported for sibling static passes (internal/analysis) that walk the
+// same per-procedure code regions the verifier does.
+type ProcExtent struct {
+	Info  vm.ProcInfo
+	Start int
+	End   int
+}
+
+// Extents computes every procedure's code extent, in address order.
+// Procedures whose entry lies outside the code are skipped (the
+// verifier reports those as violations).
+func Extents(p *vm.Program) []ProcExtent {
+	var discard []Violation
+	rs := procRanges(p, &discard)
+	out := make([]ProcExtent, len(rs))
+	for i, r := range rs {
+		out[i] = ProcExtent{Info: r.info, Start: r.start, End: r.end}
+	}
+	return out
 }
 
 // procRanges computes each procedure's extent: procedures are emitted

@@ -6,41 +6,113 @@ package verify
 // (pc, cell-state) nodes with a three-value concrete simulation of the
 // single cell involved — far cheaper than the full abstract state, and
 // enough to pick the path a developer should read.
+//
+// The machinery is exported as PathFinder so sibling static passes
+// (the optimality analyzer in internal/analysis) can reuse the same
+// CFG walking and shortest-path search over a procedure extent.
 
 import "repro/internal/vm"
 
+// Cell states for PathFinder.WitnessCell's single-cell simulation.
 const (
-	cUndef uint8 = iota
-	cDef
-	cClob
+	CellUndef uint8 = iota
+	CellDef
+	CellClob
+	// NumCellStates is the size of the simulated state space.
+	NumCellStates = 3
 )
 
-// witnessCell finds a shortest path from the entry to target arriving
-// with the simulated cell in state want. trans advances the cell state
-// across the instruction at pc.
-func (pv *procVerifier) witnessCell(target int, init uint8, want uint8, trans func(pc int, k uint8) uint8) []int {
-	n := pv.end - pv.start
-	const nStates = 3
-	parent := make([]int32, n*nStates)
+// Legacy aliases used by the verifier internals.
+const (
+	cUndef = CellUndef
+	cDef   = CellDef
+	cClob  = CellClob
+)
+
+// PathFinder walks one procedure extent's control-flow graph. It caches
+// per-instruction effects and offers shortest-path searches used to
+// build violation witnesses.
+type PathFinder struct {
+	start, end int
+	eff        []vm.Effects
+}
+
+// NewPathFinder builds a PathFinder for the instructions [start, end)
+// of p. It returns ok=false when the extent is too malformed to walk:
+// an unknown opcode, a jump leaving the extent, or control falling off
+// the end (the verifier reports those structurally; path search over
+// them would be meaningless).
+func NewPathFinder(p *vm.Program, start, end int) (*PathFinder, bool) {
+	if start < 0 || end > len(p.Code) || start >= end {
+		return nil, false
+	}
+	pf := &PathFinder{start: start, end: end, eff: make([]vm.Effects, end-start)}
+	for pc := start; pc < end; pc++ {
+		e, ok := p.Code[pc].InstrEffects(p.Config)
+		if !ok {
+			return nil, false
+		}
+		if e.Jump >= 0 && (e.Jump < start || e.Jump >= end) {
+			return nil, false
+		}
+		if e.FallsThrough && pc+1 >= end {
+			return nil, false
+		}
+		pf.eff[pc-start] = e
+	}
+	return pf, true
+}
+
+// pathFinderFor wraps an effects slice the verifier already built.
+func pathFinderFor(start, end int, eff []vm.Effects) *PathFinder {
+	return &PathFinder{start: start, end: end, eff: eff}
+}
+
+// Start and End delimit the extent.
+func (pf *PathFinder) Start() int { return pf.start }
+func (pf *PathFinder) End() int   { return pf.end }
+
+// Effects returns the cached def/use effects of the instruction at pc.
+func (pf *PathFinder) Effects(pc int) vm.Effects { return pf.eff[pc-pf.start] }
+
+// Succs lists pc's intra-procedure successors into buf.
+func (pf *PathFinder) Succs(pc int, buf []int) []int {
+	e := pf.eff[pc-pf.start]
+	buf = buf[:0]
+	if e.FallsThrough {
+		buf = append(buf, pc+1)
+	}
+	if e.Jump >= 0 {
+		buf = append(buf, e.Jump)
+	}
+	return buf
+}
+
+// WitnessCell finds a shortest path from the extent start to target
+// arriving with the simulated cell in state want. trans advances the
+// cell state across the instruction at pc.
+func (pf *PathFinder) WitnessCell(target int, init, want uint8, trans func(pc int, k uint8) uint8) []int {
+	n := pf.end - pf.start
+	parent := make([]int32, n*NumCellStates)
 	for i := range parent {
 		parent[i] = -1
 	}
-	node := func(pc int, k uint8) int { return (pc-pv.start)*nStates + int(k) }
-	startNode := node(pv.start, init)
+	node := func(pc int, k uint8) int { return (pc-pf.start)*NumCellStates + int(k) }
+	startNode := node(pf.start, init)
 	parent[startNode] = int32(startNode)
 	queue := []int{startNode}
 	goal := -1
-	if pv.start == target && init == want {
+	if pf.start == target && init == want {
 		goal = startNode
 	}
 	var buf [2]int
 	for len(queue) > 0 && goal < 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		pc := pv.start + cur/nStates
-		k := uint8(cur % nStates)
+		pc := pf.start + cur/NumCellStates
+		k := uint8(cur % NumCellStates)
 		nk := trans(pc, k)
-		for _, succ := range pv.succs(pc, buf[:]) {
+		for _, succ := range pf.Succs(pc, buf[:]) {
 			nn := node(succ, nk)
 			if parent[nn] >= 0 {
 				continue
@@ -54,11 +126,11 @@ func (pv *procVerifier) witnessCell(target int, init uint8, want uint8, trans fu
 		}
 	}
 	if goal < 0 {
-		return pv.witnessPath(target)
+		return pf.WitnessPath(target)
 	}
 	var rev []int
 	for at := goal; ; at = int(parent[at]) {
-		rev = append(rev, pv.start+at/nStates)
+		rev = append(rev, pf.start+at/NumCellStates)
 		if at == int(parent[at]) {
 			break
 		}
@@ -68,6 +140,64 @@ func (pv *procVerifier) witnessCell(target int, init uint8, want uint8, trans fu
 		path[len(rev)-1-i] = pc
 	}
 	return path
+}
+
+// WitnessPath finds any shortest path from the extent start to target.
+func (pf *PathFinder) WitnessPath(target int) []int {
+	return pf.PathFrom(pf.start, func(pc int) bool { return pc == target }, nil)
+}
+
+// PathFrom finds a shortest path beginning at from and ending at the
+// first instruction satisfying stop. Nodes for which avoid returns true
+// are not traversed (avoid may be nil); the stop node itself is still
+// tested before its avoid status matters. It returns nil when no such
+// path exists.
+func (pf *PathFinder) PathFrom(from int, stop func(pc int) bool, avoid func(pc int) bool) []int {
+	if from < pf.start || from >= pf.end {
+		return nil
+	}
+	if stop(from) {
+		return []int{from}
+	}
+	if avoid != nil && avoid(from) {
+		return nil
+	}
+	n := pf.end - pf.start
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[from-pf.start] = int32(from)
+	queue := []int{from}
+	var buf [2]int
+	for len(queue) > 0 {
+		pc := queue[0]
+		queue = queue[1:]
+		for _, succ := range pf.Succs(pc, buf[:]) {
+			i := succ - pf.start
+			if parent[i] >= 0 {
+				continue
+			}
+			parent[i] = int32(pc)
+			if stop(succ) {
+				var rev []int
+				for at := succ; at != from; at = int(parent[at-pf.start]) {
+					rev = append(rev, at)
+				}
+				rev = append(rev, from)
+				path := make([]int, len(rev))
+				for j, p := range rev {
+					path[len(rev)-1-j] = p
+				}
+				return path
+			}
+			if avoid != nil && avoid(succ) {
+				continue
+			}
+			queue = append(queue, succ)
+		}
+	}
+	return nil
 }
 
 // witnessReg finds a path on which register r arrives at pc in the
@@ -81,7 +211,7 @@ func (pv *procVerifier) witnessReg(pc, r int, want absKind) []int {
 	if want == aClob {
 		goal = cClob
 	}
-	return pv.witnessCell(pc, init, goal, func(at int, k uint8) uint8 {
+	return pv.pf.WitnessCell(pc, init, goal, func(at int, k uint8) uint8 {
 		e := pv.eff[at-pv.start]
 		if e.Defs.Has(r) {
 			return cDef
@@ -120,7 +250,7 @@ func (pv *procVerifier) witnessSlot(pc, sl int) []int {
 	if sl < pv.stackParams {
 		init = cDef
 	}
-	return pv.witnessCell(pc, init, cUndef, func(at int, k uint8) uint8 {
+	return pv.pf.WitnessCell(pc, init, cUndef, func(at int, k uint8) uint8 {
 		for _, w := range pv.eff[at-pv.start].WriteSlots {
 			if w == sl {
 				return cDef
@@ -133,7 +263,7 @@ func (pv *procVerifier) witnessSlot(pc, sl int) []int {
 // witnessOut finds a path on which outgoing slot o arrives at pc
 // unwritten since the last call.
 func (pv *procVerifier) witnessOut(pc, o int) []int {
-	return pv.witnessCell(pc, cUndef, cUndef, func(at int, k uint8) uint8 {
+	return pv.pf.WitnessCell(pc, cUndef, cUndef, func(at int, k uint8) uint8 {
 		e := pv.eff[at-pv.start]
 		if e.IsCall {
 			return cUndef
@@ -149,40 +279,5 @@ func (pv *procVerifier) witnessOut(pc, o int) []int {
 
 // witnessPath finds any shortest path from the entry to pc.
 func (pv *procVerifier) witnessPath(target int) []int {
-	n := pv.end - pv.start
-	parent := make([]int32, n)
-	for i := range parent {
-		parent[i] = -1
-	}
-	parent[0] = 0
-	if target == pv.start {
-		return []int{pv.start}
-	}
-	queue := []int{pv.start}
-	var buf [2]int
-	for len(queue) > 0 {
-		pc := queue[0]
-		queue = queue[1:]
-		for _, succ := range pv.succs(pc, buf[:]) {
-			i := succ - pv.start
-			if parent[i] >= 0 {
-				continue
-			}
-			parent[i] = int32(pc)
-			if succ == target {
-				var rev []int
-				for at := succ; at != pv.start; at = int(parent[at-pv.start]) {
-					rev = append(rev, at)
-				}
-				rev = append(rev, pv.start)
-				path := make([]int, len(rev))
-				for j, p := range rev {
-					path[len(rev)-1-j] = p
-				}
-				return path
-			}
-			queue = append(queue, succ)
-		}
-	}
-	return nil
+	return pv.pf.WitnessPath(target)
 }

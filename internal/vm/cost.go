@@ -1,0 +1,42 @@
+package vm
+
+// Static cost weights for the optimality analyzer (internal/analysis).
+// StaticCost mirrors the machine's guaranteed per-instruction charges in
+// loop(): one dispatch cycle for every instruction, the memory penalty
+// for each frame-slot or outgoing-slot access, and — for slot operands
+// of prims and closure captures — the memory penalty plus a full
+// load-use stall, exactly as Machine.readOperand charges them.
+//
+// Deliberately excluded, because they are data- or context-dependent:
+// register load-use stalls (they depend on instruction spacing; the
+// analyzer models them separately with the machine's readyAt rule),
+// branch mispredictions, the cost of callee execution, and the
+// outgoing/stack argument loads the machine performs only when the
+// callee turns out to be a primitive or continuation.
+
+// StaticCost returns the guaranteed cycle cost of one execution of the
+// instruction under the cost model. It returns ok=false for an unknown
+// opcode; the exhaustiveness test in defuse_test.go keeps it in sync
+// with the opcode set so new opcodes cannot silently escape the static
+// cost estimate.
+func (in Instr) StaticCost(cm CostModel) (int64, bool) {
+	const dispatch = 1
+	switch in.Op {
+	case OpLoadSlot, OpStoreSlot, OpStoreOut:
+		return dispatch + cm.MemPenalty, true
+	case OpPrim, OpClosure:
+		c := int64(dispatch)
+		for _, r := range in.Regs {
+			if IsSlotOperand(r) {
+				c += cm.MemPenalty + cm.LoadLatency
+			}
+		}
+		return c, true
+	case OpHalt, OpEntry, OpMove, OpLoadConst, OpLoadGlobal, OpStoreGlobal,
+		OpClosurePatch, OpFreeRef, OpJump, OpBranchFalse,
+		OpCall, OpTailCall, OpCallCC, OpReturn:
+		return dispatch, true
+	default:
+		return 0, false
+	}
+}

@@ -21,8 +21,8 @@ type Counters struct {
 	// breaks them down by purpose.
 	StackReads   int64
 	StackWrites  int64
-	ReadsByKind  [6]int64
-	WritesByKind [6]int64
+	ReadsByKind  [NumSlotKinds]int64
+	WritesByKind [NumSlotKinds]int64
 
 	// Calls counts non-tail procedure calls (OpCall/OpCallCC, including
 	// primitives and continuations invoked as values); TailCalls counts

@@ -11,18 +11,39 @@ func testConfig() Config {
 	return Config{ArgRegs: 2, UserRegs: 2, ScratchRegs: 2, CalleeSaveRegs: 2}
 }
 
-// TestInstrEffectsExhaustive asserts the def/use decoder covers every
-// opcode: adding an Op without extending InstrEffects fails here.
+// TestInstrEffectsExhaustive asserts the def/use decoder and the static
+// cost model cover every opcode: adding an Op without extending
+// InstrEffects or StaticCost fails here.
 func TestInstrEffectsExhaustive(t *testing.T) {
 	cfg := testConfig()
+	cm := DefaultCostModel()
 	for op := 0; op < NumOps; op++ {
 		in := Instr{Op: Op(op), A: 3, B: 0, C: 0}
 		if _, ok := in.InstrEffects(cfg); !ok {
 			t.Errorf("InstrEffects does not cover opcode %d (%v)", op, Op(op))
 		}
+		if c, ok := in.StaticCost(cm); !ok {
+			t.Errorf("StaticCost does not cover opcode %d (%v)", op, Op(op))
+		} else if c < 1 {
+			t.Errorf("StaticCost(%v) = %d, want at least the dispatch cycle", Op(op), c)
+		}
 	}
 	if _, ok := (Instr{Op: Op(NumOps)}).InstrEffects(cfg); ok {
 		t.Errorf("InstrEffects accepted out-of-range opcode %d; bump NumOps?", NumOps)
+	}
+	if _, ok := (Instr{Op: Op(NumOps)}).StaticCost(cm); ok {
+		t.Errorf("StaticCost accepted out-of-range opcode %d; bump NumOps?", NumOps)
+	}
+
+	// Slot and memory traffic is weighted; pure register work is not.
+	if c, _ := (Instr{Op: OpLoadSlot}).StaticCost(cm); c != 1+cm.MemPenalty {
+		t.Errorf("load-slot cost = %d, want %d", c, 1+cm.MemPenalty)
+	}
+	if c, _ := (Instr{Op: OpPrim, Regs: []int{3, ^1}}).StaticCost(cm); c != 1+cm.MemPenalty+cm.LoadLatency {
+		t.Errorf("prim-with-slot-operand cost = %d, want %d", c, 1+cm.MemPenalty+cm.LoadLatency)
+	}
+	if c, _ := (Instr{Op: OpMove}).StaticCost(cm); c != 1 {
+		t.Errorf("move cost = %d, want 1", c)
 	}
 }
 

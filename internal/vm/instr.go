@@ -85,6 +85,9 @@ const (
 	KindTemp
 	// KindVar is a stack-homed variable access (baseline configs).
 	KindVar
+	// NumSlotKinds is the number of SlotKind values; counters and the
+	// static analyzer size their per-kind arrays with it.
+	NumSlotKinds = int(KindVar) + 1
 )
 
 func (k SlotKind) String() string {

@@ -20,9 +20,11 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/analysis"
 	"repro/internal/bench"
 	"repro/internal/codegen"
 	"repro/internal/compiler"
+	"repro/internal/findings"
 	"repro/internal/prim"
 	"repro/internal/verify"
 	"repro/internal/vm"
@@ -102,6 +104,12 @@ type Options struct {
 	// shuffle invariants hold on every static path, and Compile fails
 	// with the violations otherwise.
 	Verify bool
+	// Lint runs the static optimality analyzer over the emitted code:
+	// it detects allocation waste (redundant saves, dead restores,
+	// suboptimal shuffle sequences) and computes a static per-procedure
+	// cycle estimate. The report is attached to the compiled Program as
+	// Lint; unlike Verify it never fails the compilation.
+	Lint bool
 }
 
 // DefaultOptions is the paper's configuration: six argument and six user
@@ -132,6 +140,7 @@ func (o Options) internal() compiler.Options {
 	out.ComputeShuffleStats = o.ShuffleStats
 	out.NoPrelude = o.NoPrelude
 	out.Verify = o.Verify
+	out.Lint = o.Lint
 	return out
 }
 
@@ -144,6 +153,33 @@ type VerifyError = verify.Error
 // (missing save, missing restore, shuffle mismatch, ...), where, and a
 // static path witnessing it.
 type Violation = verify.Violation
+
+// LintReport is the optimality analyzer's result: waste findings
+// (redundant saves, dead restores, excess shuffle moves/temporaries),
+// per-procedure static cost estimates, and aggregate counts. Attached
+// to Program.Lint when Options.Lint is set.
+type LintReport = analysis.Report
+
+// LintFinding is one statically detected piece of allocation waste.
+type LintFinding = analysis.Finding
+
+// StructuredFinding is the JSON-ready finding format shared by the
+// verifier and the lint analyzer (kind, pc, reg/slot, witness path).
+type StructuredFinding = findings.Finding
+
+// StructuredReport is the JSON envelope for a pass's findings.
+type StructuredReport = findings.Report
+
+// WriteFindings renders a structured report as indented JSON.
+func WriteFindings(w io.Writer, r StructuredReport) error {
+	return findings.WriteJSON(w, r)
+}
+
+// VerifyFindings converts a VerifyError's violations to the structured
+// finding format.
+func VerifyFindings(err *VerifyError) []StructuredFinding {
+	return verify.Findings(err.Violations)
+}
 
 // Stats are static compilation measurements.
 type Stats = codegen.Stats
@@ -174,6 +210,9 @@ type Program struct {
 	compiled *vm.Program
 	// Stats holds the allocator's static measurements.
 	Stats Stats
+	// Lint holds the optimality analyzer's report (nil unless
+	// Options.Lint was set).
+	Lint *LintReport
 }
 
 // Compile compiles mini-Scheme source text.
@@ -182,7 +221,7 @@ func Compile(src string, opts Options) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Program{compiled: c.Program, Stats: c.Stats}, nil
+	return &Program{compiled: c.Program, Stats: c.Stats, Lint: c.Lint}, nil
 }
 
 // Result is the outcome of running a program.

@@ -1,7 +1,9 @@
 #!/bin/sh
 # Pre-PR gate: build, vet, test, then sweep the translation validator
-# over the benchmark suite and the examples (every compilation in the
-# examples runs with Options.Verify on). Usage:
+# and the optimality analyzer over the benchmark suite and run the
+# examples (every compilation in the examples runs with Options.Verify
+# on). The lint sweep fails on any redundant save or excess shuffle
+# move under any of the seven allocator configurations. Usage:
 #
 #   scripts/check.sh          # full test budget
 #   scripts/check.sh -short   # short fuzzer budget
@@ -24,6 +26,9 @@ go test $short ./...
 
 echo "== verifier sweep: benchmark suite, every configuration =="
 go run ./cmd/lsrbench -verify
+
+echo "== optimality lint sweep: benchmark suite, every configuration =="
+go run ./cmd/lsrbench -lint
 
 echo "== verifier sweep: examples =="
 for d in examples/*/; do
