@@ -19,7 +19,20 @@
 // (redundant saves, dead restores, suboptimal shuffles) plus a static
 // cycle estimate, and exits nonzero on waste the paper's algorithms
 // promise never to emit. -json renders either pass's findings as
-// structured JSON on stdout.
+// structured JSON on stdout. -maxsteps N bounds execution with a fuel
+// budget (0 = unlimited) so runaway programs terminate deterministically.
+//
+// Exit codes follow the service error taxonomy (shared with lsrd, so
+// scripts and the daemon report failures identically):
+//
+//	0  success
+//	1  internal error
+//	2  usage / bad request
+//	3  parse error
+//	4  compile error (including translation-validation failure)
+//	5  runtime error
+//	6  fuel exhausted (-maxsteps)
+//	7  lint waste gate (-lint found waste the paper forbids)
 package main
 
 import (
@@ -29,6 +42,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/service"
 	"repro/lsr"
 )
 
@@ -51,19 +65,20 @@ func main() {
 		stats     = flag.Bool("stats", false, "print machine counters after the run")
 		validate  = flag.Bool("validate", false, "poison registers at call boundaries (restore validation)")
 		interp    = flag.Bool("interp", false, "run the reference interpreter instead of compiling")
+		maxSteps  = flag.Int64("maxsteps", 0, "execution fuel: abort after N steps (0 = unlimited)")
 		quiet     = flag.Bool("q", false, "suppress the result value")
 	)
 	flag.Parse()
 
 	src, err := readSource(*expr, *benchName, flag.Args())
 	if err != nil {
-		fail(err)
+		failKind(service.KindBadRequest, err)
 	}
 
 	if *interp {
 		v, err := lsr.Interpret(src, os.Stdout)
 		if err != nil {
-			fail(err)
+			fail(service.StageRun, err)
 		}
 		if !*quiet {
 			fmt.Println(v)
@@ -73,7 +88,7 @@ func main() {
 
 	opts, err := buildOptions(*saves, *restores, *shuffle, *argRegs, *userRegs, *calleeSv, *predict, *noPrelude)
 	if err != nil {
-		fail(err)
+		failKind(service.KindBadRequest, err)
 	}
 	opts.Verify = *verifyPP
 	opts.Lint = *lintPP
@@ -83,7 +98,7 @@ func main() {
 		if errors.As(err, &verr) {
 			failVerify(verr, *jsonOut)
 		}
-		fail(err)
+		fail(service.StageCompile, err)
 	}
 	if *dump {
 		fmt.Print(prog.Disassemble())
@@ -92,13 +107,12 @@ func main() {
 		reportLint(prog.Lint, *jsonOut)
 		return
 	}
-	run := prog.Run
-	if *validate {
-		run = prog.RunValidated
-	}
-	res, err := run(os.Stdout)
+	res, err := prog.RunWithOptions(os.Stdout, lsr.RunOptions{
+		Validate: *validate,
+		MaxSteps: *maxSteps,
+	})
 	if err != nil {
-		fail(err)
+		fail(service.StageRun, err)
 	}
 	if !*quiet {
 		fmt.Println(res.Value)
@@ -152,9 +166,16 @@ func buildOptions(saves, restores, shuffle string, argRegs, userRegs, calleeSave
 	return opts, nil
 }
 
-func fail(err error) {
+// fail reports err and exits with the taxonomy code for its classified
+// kind (parse 3, compile 4, runtime 5, fuel 6, ...), so scripts can
+// distinguish failure classes the same way lsrd's HTTP statuses do.
+func fail(stage service.Stage, err error) {
+	failKind(service.Classify(stage, err), err)
+}
+
+func failKind(kind service.Kind, err error) {
 	fmt.Fprintln(os.Stderr, "lsrc:", err)
-	os.Exit(1)
+	os.Exit(kind.ExitCode())
 }
 
 // failVerify prints each translation-validation violation on its own
@@ -166,15 +187,15 @@ func failVerify(verr *lsr.VerifyError, json bool) {
 	if json {
 		r := lsr.StructuredReport{Tool: "verify", Findings: lsr.VerifyFindings(verr)}
 		if err := lsr.WriteFindings(os.Stdout, r); err != nil {
-			fail(err)
+			failKind(service.KindInternal, err)
 		}
-		os.Exit(1)
+		os.Exit(service.KindVerify.ExitCode())
 	}
 	fmt.Fprintf(os.Stderr, "lsrc: translation validation failed: %d violation(s)\n", len(verr.Violations))
 	for _, v := range verr.Violations {
 		fmt.Fprintf(os.Stderr, "  %s\n", v)
 	}
-	os.Exit(1)
+	os.Exit(service.KindVerify.ExitCode())
 }
 
 // reportLint renders the optimality analyzer's report — human-readable
@@ -186,13 +207,13 @@ func reportLint(rep *lsr.LintReport, json bool) {
 	if json {
 		r := lsr.StructuredReport{Tool: "lint", Findings: rep.Structured(), Summary: rep.Totals}
 		if err := lsr.WriteFindings(os.Stdout, r); err != nil {
-			fail(err)
+			failKind(service.KindInternal, err)
 		}
 	} else {
 		fmt.Print(rep.Render())
 	}
 	if err := rep.WasteError(); err != nil {
 		fmt.Fprintln(os.Stderr, "lsrc:", err)
-		os.Exit(1)
+		os.Exit(service.KindWaste.ExitCode())
 	}
 }

@@ -1,0 +1,93 @@
+// Command lsrd is the compile-and-run daemon: a long-lived HTTP service
+// over the allocator pipeline, built for concurrent workloads. It keeps
+// a content-addressed compilation cache (identical sources under
+// identical options compile once and are served from memory), bounds
+// concurrency with a worker pool that sheds overload with 429, and runs
+// every program under an execution fuel budget so a looping submission
+// terminates deterministically instead of wedging a worker.
+//
+// Usage:
+//
+//	lsrd [-addr :8377] [-workers N] [-queue N] [-timeout 10s]
+//	     [-fuel N] [-maxfuel N] [-cache N]
+//
+// Endpoints:
+//
+//	POST /v1/compile  {"source": "...", "options": {...}, "verify": bool, "dump": bool}
+//	POST /v1/run      {"source": "...", "options": {...}, "max_steps": N, "validate": bool}
+//	POST /v1/verify   {"source": "...", "options": {...}}
+//	POST /v1/lint     {"source": "...", "options": {...}}
+//	GET  /healthz     liveness probe
+//	GET  /metrics     Prometheus text metrics
+//
+// /v1/verify and /v1/lint return the same findings JSON that
+// `lsrc -verify -json` and `lsrc -lint -json` print.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8377", "listen address")
+		workers = flag.Int("workers", 0, "max concurrently executing requests (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 64, "max requests queued beyond the running ones before shedding 429")
+		timeout = flag.Duration("timeout", 10*time.Second, "per-request deadline (queue wait)")
+		fuel    = flag.Int64("fuel", 50_000_000, "default execution fuel (steps) for /v1/run")
+		maxFuel = flag.Int64("maxfuel", 2_000_000_000, "largest fuel budget a request may ask for")
+		cache   = flag.Int("cache", 256, "compilation cache capacity (programs)")
+	)
+	flag.Parse()
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	svc := service.New(service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		RequestTimeout: *timeout,
+		DefaultFuel:    *fuel,
+		MaxFuel:        *maxFuel,
+		CacheEntries:   *cache,
+	}, logger)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Info("lsrd listening", "addr", *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "lsrd:", err)
+			os.Exit(1)
+		}
+	case sig := <-stop:
+		logger.Info("shutting down", "signal", sig.String())
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "lsrd: shutdown:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -11,6 +11,13 @@ import (
 	"repro/internal/vm"
 )
 
+// BenchFuel is the step budget every benchmark run executes under. The
+// full suite's largest programs finish in well under a billion
+// instructions, so the budget never alters a measurement; it exists so
+// a miscompiled benchmark that loops forever fails deterministically
+// (vm.ErrFuelExhausted) instead of hanging the harness.
+const BenchFuel = 10_000_000_000
+
 // Measurement is one (program, configuration) run.
 type Measurement struct {
 	Program  string
@@ -38,6 +45,7 @@ func MeasureWithCost(p *Program, opts compiler.Options, cost vm.CostModel) (*Mea
 
 	m := vm.New(c.Program, io.Discard)
 	m.SetCostModel(cost)
+	m.MaxSteps = BenchFuel
 	start = time.Now()
 	v, err := m.Run()
 	if err != nil {

@@ -75,14 +75,24 @@ func Compile(src string, opts Options) (*Compiled, error) {
 	return c, nil
 }
 
+// DefaultFuel is the step budget Run and RunValidated attach to every
+// execution. The differential fuzzers and unit tests run through these
+// helpers, and their programs finish in well under a billion steps —
+// but a miscompilation can turn a terminating program into an infinite
+// loop, and without fuel that hangs `go test` instead of failing it.
+const DefaultFuel = 1_000_000_000
+
 // Run compiles and executes source, returning the result value and the
 // machine counters. out receives program output (nil discards).
+// Execution carries the DefaultFuel step budget; a program that
+// exhausts it fails with vm.ErrFuelExhausted.
 func Run(src string, opts Options, out io.Writer) (prim.Value, *vm.Counters, error) {
 	c, err := Compile(src, opts)
 	if err != nil {
 		return nil, nil, err
 	}
 	m := vm.New(c.Program, out)
+	m.MaxSteps = DefaultFuel
 	v, err := m.Run()
 	return v, &m.Counters, err
 }
@@ -95,6 +105,7 @@ func RunValidated(src string, opts Options, out io.Writer) (prim.Value, *vm.Coun
 		return nil, nil, err
 	}
 	m := vm.New(c.Program, out)
+	m.MaxSteps = DefaultFuel
 	m.ValidateRestores = true
 	v, err := m.Run()
 	return v, &m.Counters, err

@@ -6,6 +6,29 @@
 // dynamic call-graph statistics of the paper's Table 2.
 package prelude
 
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+)
+
+// Version returns the hex SHA-256 of Source. Compiled output depends on
+// the prelude text, so the hash participates in any content-addressed
+// cache key over compilations (internal/service); it changes exactly
+// when the library changes.
+func Version() string {
+	versionOnce.Do(func() {
+		sum := sha256.Sum256([]byte(Source))
+		version = hex.EncodeToString(sum[:])
+	})
+	return version
+}
+
+var (
+	versionOnce sync.Once
+	version     string
+)
+
 // Source is prepended to every program by both engines.
 const Source = `
 (define (not x) (if x #f #t))

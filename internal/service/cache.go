@@ -1,0 +1,158 @@
+package service
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"repro/internal/compiler"
+	"repro/internal/prelude"
+)
+
+// CacheKey is the content address of one compilation: the SHA-256 of
+// the source text, every code-affecting compiler option, and the
+// prelude version. Two requests with the same key are guaranteed the
+// same compiled Program.
+type CacheKey [sha256.Size]byte
+
+// String renders the key as lowercase hex (the form the API exposes).
+func (k CacheKey) String() string { return hex.EncodeToString(k[:]) }
+
+// KeyFor derives the content address of (source, opts). Every field of
+// the options that can change the emitted code — the register
+// configuration, the save/restore/shuffle selections, the callee-save
+// and branch-prediction modes, the prelude switch — is folded into the
+// hash, as are the post-pass switches (Verify, Lint) since they change
+// what a cached Compiled carries. ComputeShuffleStats only adds
+// measurements, but it changes the Stats the entry returns, so it is
+// included too.
+func KeyFor(source string, opts compiler.Options) CacheKey {
+	h := sha256.New()
+	fmt.Fprintf(h, "prelude=%s\n", prelude.Version())
+	fmt.Fprintf(h, "config=%d,%d,%d,%d\n",
+		opts.Config.ArgRegs, opts.Config.UserRegs, opts.Config.ScratchRegs, opts.Config.CalleeSaveRegs)
+	fmt.Fprintf(h, "alloc=%d,%d,%d,%t,%t,%t\n",
+		opts.Saves, opts.Restores, opts.Shuffle, opts.CalleeSave, opts.PredictBranches, opts.ComputeShuffleStats)
+	fmt.Fprintf(h, "post=%t,%t,%t\n", opts.Verify, opts.Lint, opts.NoPrelude)
+	fmt.Fprintf(h, "source=%d:", len(source))
+	h.Write([]byte(source))
+	var k CacheKey
+	h.Sum(k[:0])
+	return k
+}
+
+// CacheStats are the cache's monotonic counters.
+type CacheStats struct {
+	// Hits, Misses count lookups; a miss triggers a compile.
+	Hits, Misses int64
+	// Evictions counts entries dropped by LRU pressure.
+	Evictions int64
+	// Deduped counts requests that joined an in-flight identical
+	// compile instead of starting their own (singleflight collapses).
+	Deduped int64
+}
+
+// Cache is a content-addressed compilation cache: an LRU over compiled
+// programs keyed by CacheKey, with singleflight deduplication so N
+// concurrent identical requests trigger exactly one compile. Safe for
+// concurrent use. Cached *compiler.Compiled values are shared across
+// requests, which is sound because vm.Program is immutable after
+// compilation (see the internal/vm concurrency contract) and the Stats
+// and Lint report are never written after Compile returns.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	lru      *list.List // front = most recent; values are *cacheEntry
+	byKey    map[CacheKey]*list.Element
+	inflight map[CacheKey]*flight
+	stats    CacheStats
+}
+
+type cacheEntry struct {
+	key CacheKey
+	val *compiler.Compiled
+}
+
+// flight is one in-progress compile that late arrivals join.
+type flight struct {
+	done chan struct{}
+	val  *compiler.Compiled
+	err  error
+}
+
+// NewCache creates a cache holding up to capacity compiled programs
+// (capacity < 1 is treated as 1).
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		capacity: capacity,
+		lru:      list.New(),
+		byKey:    map[CacheKey]*list.Element{},
+		inflight: map[CacheKey]*flight{},
+	}
+}
+
+// GetOrCompile returns the cached compilation for key, or runs compile
+// exactly once per key — concurrent callers with the same key block on
+// the first caller's result. hit reports whether the value came from
+// the cache (joining an in-flight compile counts as a miss for every
+// joiner; the dedup counter records the collapse). Errors are returned
+// to every waiter and never cached, so a transient failure does not
+// poison the key.
+func (c *Cache) GetOrCompile(key CacheKey, compile func() (*compiler.Compiled, error)) (val *compiler.Compiled, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.lru.MoveToFront(el)
+		c.stats.Hits++
+		val = el.Value.(*cacheEntry).val
+		c.mu.Unlock()
+		return val, true, nil
+	}
+	c.stats.Misses++
+	if f, ok := c.inflight[key]; ok {
+		c.stats.Deduped++
+		c.mu.Unlock()
+		<-f.done
+		return f.val, false, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.mu.Unlock()
+
+	f.val, f.err = compile()
+	close(f.done)
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if f.err == nil {
+		if _, exists := c.byKey[key]; !exists {
+			c.byKey[key] = c.lru.PushFront(&cacheEntry{key: key, val: f.val})
+			for c.lru.Len() > c.capacity {
+				oldest := c.lru.Back()
+				c.lru.Remove(oldest)
+				delete(c.byKey, oldest.Value.(*cacheEntry).key)
+				c.stats.Evictions++
+			}
+		}
+	}
+	c.mu.Unlock()
+	return f.val, false, f.err
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Len is the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGaugeText(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_total", "A test counter.")
+	c.Inc()
+	c.Add(2)
+	g := r.NewGauge("test_depth", "A test gauge.")
+	g.Set(7)
+	g.Add(-2)
+	v := r.NewCounterVec("test_labeled_total", "Labeled.", "kind")
+	v.With("a").Inc()
+	v.With("b").Add(3)
+
+	var b strings.Builder
+	r.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# HELP test_total A test counter.",
+		"# TYPE test_total counter",
+		"test_total 3",
+		"# TYPE test_depth gauge",
+		"test_depth 5",
+		`test_labeled_total{kind="a"} 1`,
+		`test_labeled_total{kind="b"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramText(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("lat_seconds", "Latency.", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50) // above every bound: only +Inf and count
+
+	var b strings.Builder
+	r.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 2`,
+		`lat_seconds_bucket{le="10"} 3`,
+		`lat_seconds_bucket{le="+Inf"} 4`,
+		"lat_seconds_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "lat_seconds_sum 55.55") {
+		t.Errorf("sum line wrong:\n%s", out)
+	}
+}
+
+func TestFuncMetrics(t *testing.T) {
+	r := NewRegistry()
+	n := int64(41)
+	r.NewCounterFunc("fn_total", "From a callback.", func() int64 { return n })
+	n++
+	var b strings.Builder
+	r.WriteText(&b)
+	if !strings.Contains(b.String(), "fn_total 42") {
+		t.Errorf("callback not read at scrape time:\n%s", b.String())
+	}
+}
+
+// TestConcurrentUse hammers one registry from many goroutines; run
+// under -race this proves the hot paths are lock-free-safe.
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "")
+	h := r.NewHistogram("h_seconds", "", DefBuckets)
+	v := r.NewCounterVec("v_total", "", "k")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(float64(j) / 1000)
+				v.With([]string{"a", "b", "c"}[i%3]).Inc()
+			}
+		}(i)
+	}
+	// Scrape concurrently with the writers.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var b strings.Builder
+			r.WriteText(&b)
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Errorf("histogram count = %d, want 8000", h.Count())
+	}
+}

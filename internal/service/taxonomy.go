@@ -1,0 +1,136 @@
+package service
+
+import (
+	"errors"
+	"net/http"
+	"strings"
+
+	"repro/internal/prim"
+	"repro/internal/sexp"
+	"repro/internal/verify"
+	"repro/internal/vm"
+)
+
+// Kind is the service's error taxonomy. Every failure the pipeline can
+// produce maps to exactly one kind, and each kind maps to one HTTP
+// status (for lsrd) and one process exit code (for lsrc), so scripts
+// and the daemon report failures identically.
+type Kind string
+
+// The error kinds.
+const (
+	// KindBadRequest is a malformed API request (invalid JSON, unknown
+	// option value, empty source).
+	KindBadRequest Kind = "bad-request"
+	// KindParse is a reader or syntax error in the submitted source.
+	KindParse Kind = "parse-error"
+	// KindCompile is a failure in the compilation pipeline after parsing
+	// (expansion, conversion, code generation).
+	KindCompile Kind = "compile-error"
+	// KindVerify is a translation-validation failure: the emitted code
+	// broke a save/restore/shuffle invariant.
+	KindVerify Kind = "verify-failed"
+	// KindWaste is the lint gate: statically detected allocation waste
+	// the paper's algorithms promise never to emit.
+	KindWaste Kind = "lint-waste"
+	// KindRuntime is a trap during execution (type error, unbound
+	// global, arity mismatch, scheme error).
+	KindRuntime Kind = "runtime-error"
+	// KindFuel is a program that exhausted its execution fuel.
+	KindFuel Kind = "fuel-exhausted"
+	// KindOverload is load shedding: the worker pool and its queue are
+	// full.
+	KindOverload Kind = "overloaded"
+	// KindTimeout is a request that exceeded its deadline while queued.
+	KindTimeout Kind = "timeout"
+	// KindInternal is everything else.
+	KindInternal Kind = "internal"
+)
+
+// HTTPStatus maps a kind to the status code lsrd responds with.
+func (k Kind) HTTPStatus() int {
+	switch k {
+	case KindBadRequest:
+		return http.StatusBadRequest // 400
+	case KindParse, KindCompile, KindVerify, KindWaste, KindRuntime, KindFuel:
+		return http.StatusUnprocessableEntity // 422
+	case KindOverload:
+		return http.StatusTooManyRequests // 429
+	case KindTimeout:
+		return http.StatusGatewayTimeout // 504
+	default:
+		return http.StatusInternalServerError // 500
+	}
+}
+
+// ExitCode maps a kind to the process exit code lsrc terminates with.
+// 0 is success and 2 is flag-usage (the Go flag package's convention);
+// the taxonomy starts at 3.
+func (k Kind) ExitCode() int {
+	switch k {
+	case KindBadRequest:
+		return 2
+	case KindParse:
+		return 3
+	case KindCompile, KindVerify:
+		return 4
+	case KindRuntime:
+		return 5
+	case KindFuel:
+		return 6
+	case KindWaste:
+		return 7
+	default:
+		return 1
+	}
+}
+
+// Stage tells Classify which pipeline stage produced an error, so
+// untyped errors default sensibly.
+type Stage int
+
+// Stages.
+const (
+	// StageCompile covers parse through code generation.
+	StageCompile Stage = iota
+	// StageRun covers execution.
+	StageRun
+)
+
+// Classify assigns an error to its taxonomy kind. Typed errors (syntax,
+// verify, fuel, runtime traps, scheme errors) classify exactly; untyped
+// errors fall back to the stage default (compile-error or
+// runtime-error). Reader errors carry the "sexp:" prefix and expansion
+// errors the "ast:" prefix, both of which classify as parse errors.
+func Classify(stage Stage, err error) Kind {
+	if err == nil {
+		return ""
+	}
+	if errors.Is(err, vm.ErrFuelExhausted) {
+		return KindFuel
+	}
+	var synErr *sexp.SyntaxError
+	if errors.As(err, &synErr) {
+		return KindParse
+	}
+	var verr *verify.Error
+	if errors.As(err, &verr) {
+		return KindVerify
+	}
+	var rerr *vm.RuntimeError
+	if errors.As(err, &rerr) {
+		return KindRuntime
+	}
+	var serr *prim.SchemeError
+	if errors.As(err, &serr) {
+		return KindRuntime
+	}
+	msg := err.Error()
+	if strings.HasPrefix(msg, "sexp:") || strings.HasPrefix(msg, "ast:") {
+		return KindParse
+	}
+	if stage == StageRun {
+		return KindRuntime
+	}
+	return KindCompile
+}

@@ -1,0 +1,83 @@
+package vm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/prim"
+	"repro/internal/sexp"
+)
+
+// TestConcurrentMachinesOneProgram exercises the package's concurrency
+// contract: one immutable Program backing many Machines at once. The
+// program touches every class of shared compile-time state — a mutable
+// (pair) constant that must be copied per load, a global cell, and a
+// primitive — and each machine mutates its copy, so accidental sharing
+// shows up as a race (under -race) or as cross-run value corruption.
+func TestConcurrentMachinesOneProgram(t *testing.T) {
+	s0, s1 := DefaultConfig().ScratchReg(0), DefaultConfig().ScratchReg(1)
+	p := asm(
+		// load the mutable pair constant '(1 . 2) and stash it in global g
+		Instr{Op: OpLoadConst, A: s0, B: 0},
+		Instr{Op: OpStoreGlobal, A: s0, B: 0},
+		// (set-car! g 7): mutates this machine's copy of the constant
+		Instr{Op: OpLoadConst, A: s1, B: 1},
+		Instr{Op: OpPrim, A: RegRV, B: 0, Regs: []int{s0, s1}},
+		// reload from the global and return (car g)
+		Instr{Op: OpLoadGlobal, A: s0, B: 0},
+		Instr{Op: OpPrim, A: RegRV, B: 1, Regs: []int{s0}},
+		Instr{Op: OpReturn},
+	)
+	_, p = p.withConst(&sexp.Pair{Car: sexp.Fixnum(1), Cdr: sexp.Fixnum(2)})
+	p.ConstMutable[0] = true
+	_, p = p.withConst(sexp.Fixnum(7))
+	p.withPrim("set-car!")
+	p.withPrim("car")
+	p.GlobalNames = []sexp.Symbol{"g"}
+	p.PrimGlobals = []*prim.Def{nil}
+
+	const runs = 64
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := New(p, nil)
+			v, err := m.Run()
+			if err != nil {
+				t.Errorf("concurrent run: %v", err)
+				return
+			}
+			if v != sexp.Fixnum(7) {
+				t.Errorf("concurrent run: got %v, want 7", v)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// The shared constant pool must be untouched by the set-car!.
+	if car := p.Consts[0].(*sexp.Pair).Car; car != sexp.Fixnum(1) {
+		t.Errorf("shared constant mutated: car = %v, want 1", car)
+	}
+}
+
+// TestConcurrentFuel: concurrent machines over one Program each hit
+// their own fuel budget deterministically.
+func TestConcurrentFuel(t *testing.T) {
+	p := asm(Instr{Op: OpJump, A: 2})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := New(p, nil)
+			m.MaxSteps = 500
+			_, err := m.Run()
+			if !errors.Is(err, ErrFuelExhausted) {
+				t.Errorf("want ErrFuelExhausted, got %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -5,6 +5,24 @@
 // cycles under a simple memory model with load-use stalls so that the
 // eager-vs-lazy restore comparison of §2.2 and the run-time speedups of
 // §4 can be measured in simulation.
+//
+// # Concurrency contract
+//
+// A *Program is immutable once the compiler returns it: the code, the
+// constant pool, the procedure table, the primitive table, the shuffle
+// records and the config are never written after construction, so any
+// number of goroutines may share one Program. Constants whose values
+// contain mutable structure (pairs, vectors) are flagged in
+// ConstMutable and deep-copied by OpLoadConst on every load, so runs
+// never alias mutable constants with each other. All run-time state —
+// registers, stack, the globals table (seeded per machine from
+// Program.PrimGlobals), counters, the primitive context (output sink,
+// gensym counter) — lives in the Machine.
+//
+// A *Machine is NOT safe for concurrent use: it is a single-threaded
+// interpreter meant to be created per run (vm.New is cheap). The
+// serving layer (internal/service) relies on exactly this split — one
+// cached Program backing many concurrent Machines.
 package vm
 
 import "fmt"

@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
@@ -28,7 +29,10 @@ type Machine struct {
 
 	// Counters accumulates all measurements.
 	Counters Counters
-	// MaxSteps bounds execution (0 = unlimited).
+	// MaxSteps is the execution fuel: the maximum number of instructions
+	// the machine may execute before Run returns a *FuelError matching
+	// ErrFuelExhausted (0 = unlimited). It is the only way to bound a
+	// hostile or looping program — the machine does not poll contexts.
 	MaxSteps int64
 	// ValidateRestores poisons caller-save registers at every call
 	// boundary; reading a poisoned register traps. It turns a missing
@@ -74,6 +78,28 @@ func (e *RuntimeError) Error() string {
 	return fmt.Sprintf("vm: runtime error at %d: %s", e.PC, e.Msg)
 }
 
+// ErrFuelExhausted is the sentinel for a machine that ran out of its
+// step budget. Callers match it with errors.Is; the concrete error is a
+// *FuelError carrying the budget and the pc where execution stopped.
+var ErrFuelExhausted = errors.New("vm: fuel exhausted")
+
+// FuelError reports that execution consumed its entire step budget
+// (Machine.MaxSteps) without halting. It is deterministic: the same
+// program with the same budget stops at the same pc.
+type FuelError struct {
+	// Budget is the MaxSteps the machine started with.
+	Budget int64
+	// PC is the instruction address at which the budget ran out.
+	PC int
+}
+
+func (e *FuelError) Error() string {
+	return fmt.Sprintf("vm: fuel exhausted after %d steps at pc %d", e.Budget, e.PC)
+}
+
+// Is makes errors.Is(err, ErrFuelExhausted) true for *FuelError.
+func (e *FuelError) Is(target error) bool { return target == ErrFuelExhausted }
+
 func (m *Machine) errf(format string, args ...interface{}) error {
 	return &RuntimeError{PC: m.pc, Msg: fmt.Sprintf(format, args...)}
 }
@@ -102,7 +128,7 @@ func (m *Machine) loop() (prim.Value, error) {
 		c.Instructions++
 		c.Cycles++
 		if m.MaxSteps > 0 && c.Instructions > m.MaxSteps {
-			return nil, m.errf("step budget exceeded")
+			return nil, &FuelError{Budget: m.MaxSteps, PC: m.pc}
 		}
 		switch in.Op {
 		case OpHalt:

@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -291,8 +292,13 @@ func TestStepBudget(t *testing.T) {
 	)
 	m := New(p, nil)
 	m.MaxSteps = 1000
-	if _, err := m.Run(); err == nil || !strings.Contains(err.Error(), "step budget") {
-		t.Errorf("got %v", err)
+	_, err := m.Run()
+	if !errors.Is(err, ErrFuelExhausted) {
+		t.Fatalf("want ErrFuelExhausted, got %v", err)
+	}
+	var fe *FuelError
+	if !errors.As(err, &fe) || fe.Budget != 1000 {
+		t.Errorf("want *FuelError with budget 1000, got %v", err)
 	}
 }
 

@@ -251,6 +251,32 @@ func (p *Program) RunWithCost(out io.Writer, cost CostModel, maxSteps int64) (*R
 	return p.run(out, cost, false, maxSteps)
 }
 
+// ErrFuelExhausted is returned (wrapped) by every Run variant when the
+// program exhausts its step budget; match it with errors.Is.
+var ErrFuelExhausted = vm.ErrFuelExhausted
+
+// RunOptions configures one execution of a compiled Program.
+type RunOptions struct {
+	// Cost is the machine cost model (zero value = DefaultCostModel).
+	Cost CostModel
+	// Validate poisons caller-save registers at call boundaries so a
+	// missing restore traps instead of yielding wrong answers.
+	Validate bool
+	// MaxSteps is the execution fuel (0 = unlimited): the run fails
+	// with an error matching ErrFuelExhausted once the budget is spent.
+	MaxSteps int64
+}
+
+// RunWithOptions executes with every run knob explicit; out receives
+// display/write output (nil discards it).
+func (p *Program) RunWithOptions(out io.Writer, ro RunOptions) (*Result, error) {
+	cost := ro.Cost
+	if cost == (CostModel{}) {
+		cost = DefaultCostModel()
+	}
+	return p.run(out, cost, ro.Validate, ro.MaxSteps)
+}
+
 func (p *Program) run(out io.Writer, cost CostModel, validate bool, maxSteps int64) (*Result, error) {
 	m := vm.New(p.compiled, out)
 	m.SetCostModel(cost)

@@ -24,6 +24,9 @@ go vet ./...
 echo "== go test =="
 go test $short ./...
 
+echo "== go test -race =="
+go test -race -short ./...
+
 echo "== verifier sweep: benchmark suite, every configuration =="
 go run ./cmd/lsrbench -verify
 

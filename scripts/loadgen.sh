@@ -1,0 +1,89 @@
+#!/bin/sh
+# Concurrent smoke test for the lsrd service: start a daemon, fire a
+# burst of parallel compile/run/verify/lint requests (with repeated
+# sources so the content-addressed cache and singleflight paths are
+# exercised), then assert from /metrics that the cache actually hit and
+# nothing was shed. Usage:
+#
+#   scripts/loadgen.sh           # default burst (8 clients x 6 requests)
+#   CLIENTS=32 ROUNDS=10 scripts/loadgen.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+ADDR="${ADDR:-127.0.0.1:8377}"
+CLIENTS="${CLIENTS:-8}"
+ROUNDS="${ROUNDS:-6}"
+BASE="http://$ADDR"
+
+echo "== build lsrd =="
+go build -o /tmp/lsrd ./cmd/lsrd
+
+/tmp/lsrd -addr "$ADDR" &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+
+echo "== wait for $BASE/healthz =="
+i=0
+until curl -fsS "$BASE/healthz" > /dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "loadgen.sh: daemon never became healthy" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+post() { # post ENDPOINT BODY — fail on non-2xx
+    curl -fsS -X POST "$BASE/v1/$1" -d "$2" > /dev/null
+}
+
+echo "== burst: $CLIENTS clients x $ROUNDS rounds, mixed endpoints =="
+CLIENT_PIDS=""
+c=0
+while [ "$c" -lt "$CLIENTS" ]; do
+    (
+        r=0
+        while [ "$r" -lt "$ROUNDS" ]; do
+            # Identical sources across clients: later requests must be
+            # cache hits or singleflight joins, never fresh compiles.
+            post compile '{"source": "(define (f x) (+ x 1)) (f 41)"}'
+            post run '{"source": "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))) (fib 12)"}'
+            post verify '{"source": "(define (g x y) (cons y x)) (g 1 2)", "options": {"saves": "lazy"}}'
+            post lint '{"source": "(define (h x) (* x x)) (h 9)", "options": {"shuffle": "greedy"}}'
+            r=$((r + 1))
+        done
+    ) &
+    CLIENT_PIDS="$CLIENT_PIDS $!"
+    c=$((c + 1))
+done
+for p in $CLIENT_PIDS; do
+    wait "$p"
+done
+
+# A run that must exhaust its fuel deterministically.
+code=$(curl -sS -o /dev/null -w '%{http_code}' -X POST "$BASE/v1/run" \
+    -d '{"source": "(define (spin) (spin)) (spin)", "max_steps": 100000}')
+if [ "$code" != "422" ]; then
+    echo "loadgen.sh: fuel-exhausted run returned HTTP $code, want 422" >&2
+    exit 1
+fi
+
+echo "== scrape $BASE/metrics =="
+metrics=$(curl -fsS "$BASE/metrics")
+hits=$(printf '%s\n' "$metrics" | awk '/^lsrd_cache_hits_total /{print $2}')
+shed=$(printf '%s\n' "$metrics" | awk '/^lsrd_shed_total /{print $2}')
+fuel=$(printf '%s\n' "$metrics" | awk '/^lsrd_fuel_exhausted_total /{print $2}')
+echo "cache hits: ${hits:-0}, shed: ${shed:-0}, fuel exhausted: ${fuel:-0}"
+if [ "${hits:-0}" -eq 0 ]; then
+    echo "loadgen.sh: expected cache hits under repeated sources" >&2
+    exit 1
+fi
+if [ "${fuel:-0}" -eq 0 ]; then
+    echo "loadgen.sh: fuel-exhausted counter did not move" >&2
+    exit 1
+fi
+
+kill "$PID"
+wait "$PID" 2>/dev/null || true
+trap - EXIT
+echo "loadgen.sh: all checks passed"
