@@ -16,6 +16,11 @@
 //	lsrbench -lint               # static optimality (waste) sweep
 //	lsrbench -waste              # static-vs-dynamic waste cross-validation
 //	lsrbench -suite quick        # restrict tables to a fast subset
+//
+// Performance gate (see DESIGN.md §12):
+//
+//	lsrbench -suite quick -perfjson BENCH_0.json     # write a baseline
+//	lsrbench -suite quick -perfcompare BENCH_0.json  # gate against it
 package main
 
 import (
@@ -41,6 +46,10 @@ func main() {
 		wasteTable  = flag.Bool("waste", false, "cross-validate static waste counts against the machine's dynamic counters")
 		all         = flag.Bool("all", false, "run everything")
 		suite       = flag.String("suite", "full", "benchmark subset: full or quick")
+
+		perfJSON      = flag.String("perfjson", "", "measure wall/cycle/alloc per program and write a BENCH_*.json report to this file")
+		perfCompare   = flag.String("perfcompare", "", "measure and gate against the committed BENCH_*.json baseline at this path")
+		perfThreshold = flag.Float64("perfthreshold", 0.15, "allowed wall-time geomean regression for -perfcompare")
 	)
 	flag.Parse()
 
@@ -175,10 +184,55 @@ func main() {
 		})
 	}
 
+	if *perfJSON != "" || *perfCompare != "" {
+		ran = true
+		if err := runPerf(progs, *suite, *perfJSON, *perfCompare, *perfThreshold); err != nil {
+			fail(err)
+		}
+	}
+
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// runPerf measures the perf report once and then writes it, gates it
+// against a committed baseline, or both.
+func runPerf(progs []*bench.Program, suite, jsonPath, comparePath string, threshold float64) error {
+	rep, err := bench.MeasurePerf(progs, suite)
+	if err != nil {
+		return err
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d programs, schema %s)\n", jsonPath, len(rep.Entries), bench.PerfSchema)
+	}
+	if comparePath != "" {
+		data, err := os.ReadFile(comparePath)
+		if err != nil {
+			return err
+		}
+		base, err := bench.ReadPerfReport(data)
+		if err != nil {
+			return err
+		}
+		if err := bench.ComparePerf(base, rep, threshold); err != nil {
+			return err
+		}
+		fmt.Printf("perf gate passed against %s (threshold %.0f%%)\n", comparePath, threshold*100)
+	}
+	return nil
 }
 
 // suitePrograms selects the benchmark set.

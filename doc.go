@@ -1,0 +1,10 @@
+// Package repro reproduces "Register Allocation Using Lazy Saves, Eager
+// Restores, and Greedy Shuffling" (Burger, Waddell, Dybvig; PLDI'95): a
+// mini-Scheme compiler whose register allocator implements the paper's
+// three techniques, a simulated machine that measures their effect, and
+// a benchmark harness that regenerates the paper's tables and figures.
+//
+// The package itself holds only the root benchmark suite (bench_test.go);
+// the implementation lives under internal/ — see ARCHITECTURE.md for the
+// package map and DESIGN.md for the design rationale.
+package repro

@@ -31,11 +31,26 @@ type Measurement struct {
 // Measure compiles and runs one benchmark under opts, checking its
 // expected result.
 func Measure(p *Program, opts compiler.Options) (*Measurement, error) {
-	return MeasureWithCost(p, opts, vm.DefaultCostModel())
+	return measure(p, opts, vm.DefaultCostModel(), vm.CountFull)
+}
+
+// MeasureFast is Measure on the machine's counters-off fast path
+// (vm.CountEssential): the cost-model outputs — instructions, cycles,
+// stalls and stack-reference counts — are byte-for-byte identical to
+// Measure's (TestEngineEquivalence enforces this), but the diagnostic
+// bookkeeping (per-kind reference breakdowns, call-graph
+// classification, branch statistics) is skipped. Tables that consume
+// only cycles and stack references use it.
+func MeasureFast(p *Program, opts compiler.Options) (*Measurement, error) {
+	return measure(p, opts, vm.DefaultCostModel(), vm.CountEssential)
 }
 
 // MeasureWithCost is Measure under an explicit machine cost model.
 func MeasureWithCost(p *Program, opts compiler.Options, cost vm.CostModel) (*Measurement, error) {
+	return measure(p, opts, cost, vm.CountFull)
+}
+
+func measure(p *Program, opts compiler.Options, cost vm.CostModel, mode vm.CounterMode) (*Measurement, error) {
 	start := time.Now()
 	c, err := compiler.Compile(p.Source, opts)
 	if err != nil {
@@ -45,6 +60,7 @@ func MeasureWithCost(p *Program, opts compiler.Options, cost vm.CostModel) (*Mea
 
 	m := vm.New(c.Program, io.Discard)
 	m.SetCostModel(cost)
+	m.Counting = mode
 	m.MaxSteps = BenchFuel
 	start = time.Now()
 	v, err := m.Run()

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func perfFixture() *PerfReport {
+	return &PerfReport{
+		Schema:    PerfSchema,
+		Suite:     "quick",
+		GoVersion: "go0.0",
+		Entries: []PerfEntry{
+			{Program: "a", Engine: "threaded", WallNsPerOp: 1000, SimCycles: 500, AllocsPerOp: 10},
+			{Program: "b", Engine: "threaded", WallNsPerOp: 2000, SimCycles: 700, AllocsPerOp: 20},
+		},
+	}
+}
+
+func TestPerfRoundTrip(t *testing.T) {
+	rep := perfFixture()
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPerfReport(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != 2 || got.Entries[0] != rep.Entries[0] || got.Entries[1] != rep.Entries[1] {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestPerfSchemaRejected(t *testing.T) {
+	if _, err := ReadPerfReport([]byte(`{"schema":"lsr/bench-perf/v0"}`)); err == nil {
+		t.Fatal("expected schema mismatch error")
+	}
+}
+
+func TestComparePerfPasses(t *testing.T) {
+	base, cur := perfFixture(), perfFixture()
+	// 10% slower on both programs: inside the 15% gate.
+	cur.Entries[0].WallNsPerOp = 1100
+	cur.Entries[1].WallNsPerOp = 2200
+	if err := ComparePerf(base, cur, 0.15); err != nil {
+		t.Fatalf("expected pass, got %v", err)
+	}
+}
+
+func TestComparePerfWallRegression(t *testing.T) {
+	base, cur := perfFixture(), perfFixture()
+	cur.Entries[0].WallNsPerOp = 1500
+	cur.Entries[1].WallNsPerOp = 3000
+	err := ComparePerf(base, cur, 0.15)
+	if err == nil || !strings.Contains(err.Error(), "geomean") {
+		t.Fatalf("expected wall regression failure, got %v", err)
+	}
+}
+
+func TestComparePerfCycleDrift(t *testing.T) {
+	base, cur := perfFixture(), perfFixture()
+	cur.Entries[1].SimCycles = 701
+	err := ComparePerf(base, cur, 0.15)
+	if err == nil || !strings.Contains(err.Error(), "sim_cycles") {
+		t.Fatalf("expected sim_cycles failure, got %v", err)
+	}
+}
+
+func TestComparePerfNewProgramIgnored(t *testing.T) {
+	base, cur := perfFixture(), perfFixture()
+	cur.Entries = append(cur.Entries, PerfEntry{Program: "new", Engine: "threaded", WallNsPerOp: 9e6, SimCycles: 1})
+	if err := ComparePerf(base, cur, 0.15); err != nil {
+		t.Fatalf("expected new program to be ignored, got %v", err)
+	}
+}

@@ -124,19 +124,19 @@ func (r Table3Row) Speedups() (lazy, early, late float64) {
 func Table3(progs []*Program) ([]Table3Row, string, error) {
 	var rows []Table3Row
 	for _, p := range progs {
-		base, err := Measure(p, BaselineOptions())
+		base, err := MeasureFast(p, BaselineOptions())
 		if err != nil {
 			return nil, "", err
 		}
-		lazy, err := Measure(p, StrategyOptions(codegen.SaveLazy))
+		lazy, err := MeasureFast(p, StrategyOptions(codegen.SaveLazy))
 		if err != nil {
 			return nil, "", err
 		}
-		early, err := Measure(p, StrategyOptions(codegen.SaveEarly))
+		early, err := MeasureFast(p, StrategyOptions(codegen.SaveEarly))
 		if err != nil {
 			return nil, "", err
 		}
-		late, err := Measure(p, StrategyOptions(codegen.SaveLate))
+		late, err := MeasureFast(p, StrategyOptions(codegen.SaveLate))
 		if err != nil {
 			return nil, "", err
 		}
@@ -211,7 +211,7 @@ func Table4() ([]Table4Row, string, error) {
 	}
 	var rows []Table4Row
 	for _, c := range configs {
-		m, err := Measure(takProgram, c.opts)
+		m, err := MeasureFast(takProgram, c.opts)
 		if err != nil {
 			return nil, "", err
 		}
@@ -243,7 +243,7 @@ func Table5() ([]Table4Row, string, error) {
 	}
 	var rows []Table4Row
 	for _, c := range configs {
-		m, err := Measure(takProgram, c.opts)
+		m, err := MeasureFast(takProgram, c.opts)
 		if err != nil {
 			return nil, "", err
 		}
@@ -344,11 +344,11 @@ type SweepRow struct {
 func RegisterSweep(p *Program) ([]SweepRow, string, error) {
 	var rows []SweepRow
 	for c := 0; c <= 6; c++ {
-		g, err := Measure(p, RegistersOptions(c, c, codegen.ShuffleGreedy))
+		g, err := MeasureFast(p, RegistersOptions(c, c, codegen.ShuffleGreedy))
 		if err != nil {
 			return nil, "", err
 		}
-		n, err := Measure(p, RegistersOptions(c, c, codegen.ShuffleNaive))
+		n, err := MeasureFast(p, RegistersOptions(c, c, codegen.ShuffleNaive))
 		if err != nil {
 			return nil, "", err
 		}

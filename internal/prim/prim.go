@@ -109,8 +109,14 @@ func CheckArity(d *Def, n int) error {
 	return nil
 }
 
-// Truthy implements Scheme truth: everything except #f is true.
-func Truthy(v Value) bool { return v != sexp.Boolean(false) }
+// Truthy implements Scheme truth: everything except #f is true. The
+// type assertion compiles to a type-pointer compare, where comparing
+// interfaces directly would call into the runtime — this is the VM's
+// branch condition, so it is hot.
+func Truthy(v Value) bool {
+	b, ok := v.(sexp.Boolean)
+	return !ok || bool(b)
+}
 
 // WriteString renders a value in external (write) notation.
 func WriteString(v Value) string {
@@ -247,6 +253,27 @@ func unwrapValue(v Value) Value {
 
 // Eqv implements Scheme eqv?.
 func Eqv(a, b Value) bool {
+	// Fast paths for the common concrete types. These cannot be hiding
+	// inside an opaque wrapper (asDatum wraps only non-datum values), so
+	// the unwrap below is unnecessary for them, and a concrete type
+	// assertion is much cheaper than an interface-to-interface one.
+	switch x := a.(type) {
+	case sexp.Fixnum:
+		y, ok := b.(sexp.Fixnum)
+		return ok && x == y
+	case sexp.Symbol:
+		y, ok := b.(sexp.Symbol)
+		return ok && x == y
+	case sexp.Boolean:
+		y, ok := b.(sexp.Boolean)
+		return ok && x == y
+	case sexp.Empty:
+		_, ok := b.(sexp.Empty)
+		return ok
+	case *sexp.Pair:
+		y, ok := b.(*sexp.Pair)
+		return ok && x == y
+	}
 	a, b = unwrapValue(a), unwrapValue(b)
 	switch a.(type) {
 	case sexp.Fixnum, sexp.Flonum, sexp.Boolean, sexp.Char, sexp.Symbol, sexp.Empty:

@@ -184,6 +184,15 @@ func registerPairs() {
 
 func registerNumeric() {
 	def("+", 0, -1, func(ctx *Ctx, a []Value) (Value, error) {
+		// Two-fixnum fast path: the compiler emits almost all arithmetic
+		// as binary, and fixnums dominate the benchmark suite.
+		if len(a) == 2 {
+			if x, ok := a[0].(sexp.Fixnum); ok {
+				if y, ok := a[1].(sexp.Fixnum); ok {
+					return x + y, nil
+				}
+			}
+		}
 		var acc Value = sexp.Fixnum(0)
 		for _, v := range a {
 			var err error
@@ -194,6 +203,13 @@ func registerNumeric() {
 		return acc, nil
 	})
 	def("-", 1, -1, func(ctx *Ctx, a []Value) (Value, error) {
+		if len(a) == 2 {
+			if x, ok := a[0].(sexp.Fixnum); ok {
+				if y, ok := a[1].(sexp.Fixnum); ok {
+					return x - y, nil
+				}
+			}
+		}
 		if len(a) == 1 {
 			return numSub(sexp.Fixnum(0), a[0])
 		}
@@ -207,6 +223,13 @@ func registerNumeric() {
 		return acc, nil
 	})
 	def("*", 0, -1, func(ctx *Ctx, a []Value) (Value, error) {
+		if len(a) == 2 {
+			if x, ok := a[0].(sexp.Fixnum); ok {
+				if y, ok := a[1].(sexp.Fixnum); ok {
+					return x * y, nil
+				}
+			}
+		}
 		var acc Value = sexp.Fixnum(1)
 		for _, v := range a {
 			var err error
@@ -356,6 +379,21 @@ func registerNumeric() {
 	})
 	cmp := func(name string, ok func(c int) bool) {
 		def(name, 2, -1, func(ctx *Ctx, a []Value) (Value, error) {
+			// Two-fixnum fast path (see "+"): skip the float promotion
+			// dance when both operands are fixnums.
+			if len(a) == 2 {
+				if x, okx := a[0].(sexp.Fixnum); okx {
+					if y, oky := a[1].(sexp.Fixnum); oky {
+						c := 0
+						if x < y {
+							c = -1
+						} else if x > y {
+							c = 1
+						}
+						return boolV(ok(c)), nil
+					}
+				}
+			}
 			for i := 0; i+1 < len(a); i++ {
 				c, err := numCompare(a[i], a[i+1])
 				if err != nil {

@@ -123,6 +123,40 @@ type RunRequest struct {
 	MaxSteps int64 `json:"max_steps,omitempty"`
 	// Validate poisons caller-save registers at call boundaries.
 	Validate bool `json:"validate,omitempty"`
+	// Engine selects the execution engine: "threaded" (the pre-decoded
+	// engine, the default) or "switch" (the reference decode-every-step
+	// loop). Both produce identical values and counters; "switch"
+	// exists for differential debugging against the reference
+	// semantics.
+	Engine string `json:"engine,omitempty"`
+	// Counters selects the counter fidelity: "full" (the default;
+	// every field of the response's counters is populated) or
+	// "essential" (the counters-off fast path: instructions, cycles,
+	// stalls and stack references are still exact, but calls,
+	// tail_calls and activations read zero).
+	Counters string `json:"counters,omitempty"`
+}
+
+// engineKind lowers RunRequest.Engine.
+func engineKind(s string) (vm.EngineKind, error) {
+	switch s {
+	case "", "threaded":
+		return vm.EngineThreaded, nil
+	case "switch":
+		return vm.EngineSwitch, nil
+	}
+	return 0, fmt.Errorf("unknown engine %q (want threaded or switch)", s)
+}
+
+// counterMode lowers RunRequest.Counters.
+func counterMode(s string) (vm.CounterMode, error) {
+	switch s {
+	case "", "full":
+		return vm.CountFull, nil
+	case "essential":
+		return vm.CountEssential, nil
+	}
+	return 0, fmt.Errorf("unknown counter mode %q (want full or essential)", s)
 }
 
 // RunResponse is the body of a successful POST /v1/run.

@@ -131,6 +131,7 @@ type Service struct {
 	shed          *metrics.Counter
 	fuelExhausted *metrics.Counter
 	compiles      *metrics.CounterVec
+	runs          *metrics.CounterVec
 	saveSites     *metrics.CounterVec
 	restoreSites  *metrics.CounterVec
 	shuffleTemps  *metrics.CounterVec
@@ -161,6 +162,8 @@ func New(cfg Config, logger *slog.Logger) *Service {
 		"Runs terminated by the execution fuel budget.")
 	s.compiles = s.reg.NewCounterVec("lsrd_compiles_total",
 		"Actual (non-cached) compilations by save strategy.", "saves")
+	s.runs = s.reg.NewCounterVec("lsrd_runs_total",
+		"Program executions by engine.", "engine")
 	s.saveSites = s.reg.NewCounterVec("lsrd_compile_save_sites_total",
 		"Static save instructions emitted, by save strategy.", "saves")
 	s.restoreSites = s.reg.NewCounterVec("lsrd_compile_restore_sites_total",
@@ -362,6 +365,14 @@ func (s *Service) handleRun(ctx context.Context, body []byte) (any, int, *Error)
 	if oerr != nil {
 		return nil, 0, errOf(KindBadRequest, "%v", oerr)
 	}
+	engine, eerr := engineKind(req.Engine)
+	if eerr != nil {
+		return nil, 0, errOf(KindBadRequest, "%v", eerr)
+	}
+	mode, merr := counterMode(req.Counters)
+	if merr != nil {
+		return nil, 0, errOf(KindBadRequest, "%v", merr)
+	}
 	c, key, hit, err := s.compileCached(req.Source, opts)
 	if err != nil {
 		return nil, 0, err
@@ -377,8 +388,15 @@ func (s *Service) handleRun(ctx context.Context, body []byte) (any, int, *Error)
 	var out limitedBuffer
 	out.limit = int(s.cfg.MaxOutputBytes)
 	m := vm.New(c.Program, &out)
+	m.Engine = engine
+	m.Counting = mode
 	m.MaxSteps = fuel
 	m.ValidateRestores = req.Validate
+	engineName := "threaded"
+	if engine == vm.EngineSwitch {
+		engineName = "switch"
+	}
+	s.runs.With(engineName).Inc()
 	v, rerr := m.Run()
 	if rerr != nil {
 		return nil, 0, &Error{Kind: Classify(StageRun, rerr), Message: rerr.Error()}

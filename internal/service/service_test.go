@@ -508,3 +508,75 @@ func TestClassify(t *testing.T) {
 		}
 	}
 }
+
+// TestRunEngineAndCounters exercises the engine and counter-mode
+// selectors of /v1/run: both engines must produce identical values and
+// identical counters, essential mode must keep the cost-model outputs
+// while zeroing the diagnostic ones, and bad selectors are
+// bad-request errors.
+func TestRunEngineAndCounters(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	src := `(define (f n acc) (if (zero? n) acc (f (- n 1) (+ acc n)))) (f 100 0)`
+
+	var byEngine []RunResponse
+	for _, engine := range []string{"threaded", "switch"} {
+		code, body := post(t, ts, "/v1/run", RunRequest{Source: src, Engine: engine})
+		if code != http.StatusOK {
+			t.Fatalf("run engine=%s: status %d: %s", engine, code, body)
+		}
+		var resp RunResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if resp.Value != "5050" {
+			t.Errorf("engine=%s value = %q, want 5050", engine, resp.Value)
+		}
+		byEngine = append(byEngine, resp)
+	}
+	if byEngine[0].Counters != byEngine[1].Counters {
+		t.Errorf("engines disagree on counters:\nthreaded: %+v\nswitch:   %+v",
+			byEngine[0].Counters, byEngine[1].Counters)
+	}
+
+	code, body := post(t, ts, "/v1/run", RunRequest{Source: src, Counters: "essential"})
+	if code != http.StatusOK {
+		t.Fatalf("run counters=essential: status %d: %s", code, body)
+	}
+	var ess RunResponse
+	if err := json.Unmarshal(body, &ess); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	full := byEngine[0].Counters
+	if ess.Counters.Instructions != full.Instructions || ess.Counters.Cycles != full.Cycles ||
+		ess.Counters.StallCycles != full.StallCycles ||
+		ess.Counters.StackReads != full.StackReads || ess.Counters.StackWrites != full.StackWrites {
+		t.Errorf("essential cost-model counters diverge: %+v vs %+v", ess.Counters, full)
+	}
+	if ess.Counters.Activations != 0 || ess.Counters.Calls != 0 {
+		t.Errorf("essential mode populated diagnostic counters: %+v", ess.Counters)
+	}
+
+	for _, bad := range []RunRequest{
+		{Source: src, Engine: "warp"},
+		{Source: src, Counters: "most"},
+	} {
+		code, body := post(t, ts, "/v1/run", bad)
+		if code != http.StatusBadRequest {
+			t.Errorf("bad selector %+v: status %d: %s", bad, code, body)
+		}
+	}
+
+	// The runs-by-engine metric counted every successful execution.
+	code, body = get(t, ts, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	for _, want := range []string{
+		`lsrd_runs_total{engine="threaded"}`,
+		`lsrd_runs_total{engine="switch"} 1`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %s", want)
+		}
+	}
+}

@@ -1,0 +1,1127 @@
+package vm
+
+// This file is the pre-decoded execution engine: the default hot path
+// behind Machine.Run. At first use of a Program it decodes every Instr
+// once into a flat array of operand records (dcode) — constants,
+// primitive definitions and slot kinds are resolved at decode time, and
+// each record carries a dense dispatch code plus an optional handler
+// func pointer. Single instructions dispatch through a jump table over
+// the dispatch code (an indirect call per instruction costs more than a
+// table switch in Go, so the common case stays call-free); fused
+// superinstructions (fuse.go) and the rare slow paths dispatch through
+// the handler pointer, which is also the engine's extension point.
+//
+// The engine invariant — enforced by TestEngineEquivalence — is that
+// this engine is observably identical to the reference switch loop
+// (switchloop.go): same result values, same errors (including
+// *FuelError program counters), and byte-for-byte identical Counters
+// under CountFull. Simulated cycle accounting is the reproduction's
+// measuring stick, so every dispatch arm charges the dispatch cycle,
+// memory penalties and load-use stalls in exactly the order the switch
+// loop does; fused handlers replicate the per-sub-instruction sequence.
+
+import (
+	"repro/internal/prim"
+	"repro/internal/sexp"
+)
+
+// CounterMode selects the fidelity of the measurement counters.
+type CounterMode uint8
+
+const (
+	// CountFull (the default) maintains every counter: the per-kind
+	// stack-reference breakdown, the Table 2 activation classification,
+	// per-procedure statistics, and call/branch counts.
+	CountFull CounterMode = iota
+	// CountEssential is the counters-off fast path: only the cost
+	// model's own outputs are maintained — Instructions (also the fuel
+	// meter), Cycles, StallCycles, StackReads and StackWrites. Cycles
+	// are byte-for-byte identical to CountFull (mispredict penalties
+	// are still charged); everything else reads zero.
+	CountEssential
+)
+
+// EngineKind selects the execution engine.
+type EngineKind uint8
+
+const (
+	// EngineThreaded (the default) is the pre-decoded engine in this
+	// file, with superinstruction fusion (fuse.go).
+	EngineThreaded EngineKind = iota
+	// EngineSwitch is the reference decode-every-step switch loop
+	// (switchloop.go), kept as the semantic baseline the differential
+	// test compares against.
+	EngineSwitch
+)
+
+// handler executes one fused run or slow-path instruction. It performs
+// its own step accounting (tick per sub-instruction) and pc update; a
+// nil return means "keep dispatching".
+type handler func(*Machine, *dcode) error
+
+// xcode is the dense dispatch code runThreaded switches on. xFn routes
+// through dcode.fn (fused runs and slow paths); every other value is an
+// inline arm for one opcode.
+type xcode uint8
+
+const (
+	xFn xcode = iota
+	xHalt
+	xEntry
+	xMove
+	xLoadConst
+	xLoadGlobal
+	xStoreGlobal
+	xLoadSlot
+	xStoreSlot
+	xStoreOut
+	xPrim
+	xClosure
+	xClosurePatch
+	xFreeRef
+	xJump
+	xBranchFalse
+	xCall
+	xTailCall
+	xCallCC
+	xReturn
+	xUnknown
+
+	// Specialized primitives (see specPrim): OpPrim instructions whose
+	// primitive is hot, whose arity is fixed, and whose operands are all
+	// registers get a dedicated arm that skips the argument buffer and
+	// the indirect Fn call. Each arm handles only the dominant type
+	// case and falls back to the table implementation (d.def.Fn) for
+	// everything else, so behavior — including error messages — is
+	// identical to the generic xPrim arm.
+	// One-argument specialized primitives (xPCar..xPBooleanP), then
+	// two-argument ones (xPCons..xPCharEq). spec2 and isSpecPrim rely
+	// on this ordering.
+	xPCar
+	xPCdr
+	xPNullP
+	xPPairP
+	xPZeroP
+	xPAdd1
+	xPSub1
+	xPSymbolP
+	xPVectorP
+	xPNumberP
+	xPBooleanP
+	xPCons
+	xPEq
+	xPAdd
+	xPSub
+	xPMul
+	xPLt
+	xPNumEq
+	xPVectorRef
+	xPStringRef
+	xPCharEq
+
+	// xPredBr is a fused predicate-primitive + branch-false pair
+	// (fuse.go): a specialized predicate whose result feeds the
+	// immediately following OpBranchFalse. The predicate kind lives in
+	// dcode.pk, the branch target in dcode.tgt.
+	xPredBr
+	// xPrimSt is a fused specialized-primitive + store-slot pair
+	// (fuse.go): the store saves the primitive's result. The primitive
+	// kind lives in dcode.pk, the slot offset in dcode.tgt, the slot
+	// kind in dcode.kind.
+	xPrimSt
+	// xHeadSt is a fused value-producer + store pair (fuse.go): a
+	// load-const, load-global or move whose result the immediately
+	// following store-slot or store-out saves. The producer kind lives
+	// in dcode.pk, the store parameters in dcode.tgt/kind/stOut/c.
+	xHeadSt
+)
+
+// specPrim maps a hot fixed-arity primitive to its specialized dispatch
+// code. Operands may be registers or stack slots — the arms read them
+// through the same regFast/readOperand pattern as the generic arm.
+func specPrim(name sexp.Symbol, regs []int) (xcode, bool) {
+	switch len(regs) {
+	case 1:
+		switch name {
+		case "car":
+			return xPCar, true
+		case "cdr":
+			return xPCdr, true
+		case "null?":
+			return xPNullP, true
+		case "pair?":
+			return xPPairP, true
+		case "zero?":
+			return xPZeroP, true
+		case "1+", "add1":
+			return xPAdd1, true
+		case "1-", "sub1":
+			return xPSub1, true
+		case "symbol?":
+			return xPSymbolP, true
+		case "vector?":
+			return xPVectorP, true
+		case "number?":
+			return xPNumberP, true
+		case "boolean?":
+			return xPBooleanP, true
+		}
+	case 2:
+		switch name {
+		case "cons":
+			return xPCons, true
+		case "eq?", "eqv?":
+			return xPEq, true
+		case "+":
+			return xPAdd, true
+		case "-":
+			return xPSub, true
+		case "*":
+			return xPMul, true
+		case "<":
+			return xPLt, true
+		case "=":
+			return xPNumEq, true
+		case "vector-ref":
+			return xPVectorRef, true
+		case "string-ref":
+			return xPStringRef, true
+		case "char=?":
+			return xPCharEq, true
+		}
+	}
+	return 0, false
+}
+
+// isSpecPrim reports whether x is a specialized-primitive dispatch code.
+func isSpecPrim(x xcode) bool { return x >= xPCar && x <= xPCharEq }
+
+// spec2 reports whether specialized primitive pk takes two arguments.
+func spec2(pk xcode) bool { return pk >= xPCons }
+
+// specCompute1 computes a one-argument specialized primitive; a nil
+// result means the argument was outside the fast type case and the
+// caller must fall back to the table implementation. The cases mirror
+// the inline single-instruction arms in runThreaded (and through them
+// the prim table) — keep all three in step.
+func specCompute1(pk xcode, v prim.Value) prim.Value {
+	switch pk {
+	case xPCar:
+		if p, isPair := v.(*sexp.Pair); isPair {
+			return prim.Unwrap(p.Car)
+		}
+	case xPCdr:
+		if p, isPair := v.(*sexp.Pair); isPair {
+			return prim.Unwrap(p.Cdr)
+		}
+	case xPNullP:
+		_, isEmpty := v.(sexp.Empty)
+		return sexp.Boolean(isEmpty)
+	case xPPairP:
+		_, isPair := v.(*sexp.Pair)
+		return sexp.Boolean(isPair)
+	case xPZeroP:
+		if n, isFix := v.(sexp.Fixnum); isFix {
+			return sexp.Boolean(n == 0)
+		}
+	case xPAdd1:
+		if n, isFix := v.(sexp.Fixnum); isFix {
+			return n + 1
+		}
+	case xPSub1:
+		if n, isFix := v.(sexp.Fixnum); isFix {
+			return n - 1
+		}
+	case xPSymbolP:
+		_, isSym := v.(sexp.Symbol)
+		return sexp.Boolean(isSym)
+	case xPVectorP:
+		_, isVec := v.(*sexp.Vector)
+		return sexp.Boolean(isVec)
+	case xPNumberP:
+		switch v.(type) {
+		case sexp.Fixnum, sexp.Flonum:
+			return sexp.Boolean(true)
+		}
+		return sexp.Boolean(false)
+	case xPBooleanP:
+		_, isBool := v.(sexp.Boolean)
+		return sexp.Boolean(isBool)
+	}
+	return nil
+}
+
+// specCompute2 is specCompute1 for the two-argument primitives.
+func specCompute2(pk xcode, x, y prim.Value) prim.Value {
+	switch pk {
+	case xPCons:
+		if xd, okx := x.(sexp.Datum); okx {
+			if yd, oky := y.(sexp.Datum); oky {
+				return &sexp.Pair{Car: xd, Cdr: yd}
+			}
+		}
+	case xPEq:
+		return sexp.Boolean(prim.Eqv(x, y))
+	case xPVectorRef:
+		if vec, okv := x.(*sexp.Vector); okv {
+			if i, oki := y.(sexp.Fixnum); oki && i >= 0 && int(i) < len(vec.Items) {
+				return prim.Unwrap(vec.Items[i])
+			}
+		}
+	case xPStringRef:
+		if str, oks := x.(sexp.Str); oks {
+			if i, oki := y.(sexp.Fixnum); oki && i >= 0 && int(i) < len(str) {
+				return sexp.Char(str[i])
+			}
+		}
+	case xPCharEq:
+		if xc, okx := x.(sexp.Char); okx {
+			if yc, oky := y.(sexp.Char); oky {
+				return sexp.Boolean(xc == yc)
+			}
+		}
+	default:
+		if xn, okx := x.(sexp.Fixnum); okx {
+			if yn, oky := y.(sexp.Fixnum); oky {
+				switch pk {
+				case xPAdd:
+					return xn + yn
+				case xPSub:
+					return xn - yn
+				case xPMul:
+					return xn * yn
+				case xPLt:
+					return sexp.Boolean(xn < yn)
+				case xPNumEq:
+					return sexp.Boolean(xn == yn)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// dcode is one pre-decoded instruction: the dispatch code plus its
+// operands, resolved as far as immutability allows at decode time.
+// (An experiment that shrank the record to one cache line by moving
+// operand lists to a side table and type-punning val/def measurably
+// regressed: the extra indirections in the hot prim arm cost more than
+// the smaller record saved.)
+type dcode struct {
+	x xcode
+	// pk is the pre-fusion xcode of the first instruction of a fused
+	// pair (xPredBr, xPrimSt, xHeadSt).
+	pk      xcode
+	op      Op
+	kind    SlotKind
+	predict int8
+	// stOut marks an xHeadSt record whose store is a store-out (the
+	// outgoing-argument base offset is in c) rather than a store-slot.
+	stOut   bool
+	a, b, c int
+	// tgt is the branch target of an xPredBr record.
+	tgt int
+	// fn is the handler for xFn records (fused runs, slow paths).
+	fn handler
+	// regs aliases Instr.Regs (OpPrim/OpClosure operand lists).
+	regs []int
+	// val is the pre-resolved constant for immutable OpLoadConst.
+	val prim.Value
+	// def is the pre-resolved primitive for OpPrim.
+	def *prim.Def
+	// els is the element list of a fused run (fuse.go); nil otherwise.
+	els []fusedEl
+}
+
+// engineCode is a Program's decoded form, built once and shared by
+// every Machine running the program (it is immutable after build, like
+// the Program itself).
+type engineCode struct {
+	code []dcode
+}
+
+// engine returns the Program's decoded form, building it on first use.
+func (p *Program) engine() *engineCode {
+	p.engOnce.Do(func() { p.eng = buildEngine(p) })
+	return p.eng
+}
+
+func buildEngine(p *Program) *engineCode {
+	eng := &engineCode{code: make([]dcode, len(p.Code))}
+	for pc := range p.Code {
+		decodeOne(p, &p.Code[pc], &eng.code[pc])
+	}
+	fuse(p, eng.code)
+	return eng
+}
+
+// decodeOne lowers one Instr to its decoded form. Pool references are
+// resolved only when they are in range; out-of-range references get the
+// slow handler so the failure (a panic, as in the switch loop) happens
+// at execution time, not at decode time — a program whose corrupt
+// instruction is never reached must run identically on both engines.
+func decodeOne(p *Program, in *Instr, d *dcode) {
+	d.op = in.Op
+	d.a, d.b, d.c = in.A, in.B, in.C
+	d.kind = in.Kind
+	d.predict = in.Predict
+	d.regs = in.Regs
+	switch in.Op {
+	case OpHalt:
+		d.x = xHalt
+	case OpEntry:
+		d.x = xEntry
+	case OpMove:
+		d.x = xMove
+	case OpLoadConst:
+		if in.B >= 0 && in.B < len(p.Consts) && in.B < len(p.ConstMutable) && !p.ConstMutable[in.B] {
+			d.val = p.Consts[in.B]
+			d.x = xLoadConst
+		} else {
+			d.x = xFn
+			d.fn = hLoadConstSlow
+		}
+	case OpLoadGlobal:
+		d.x = xLoadGlobal
+	case OpStoreGlobal:
+		d.x = xStoreGlobal
+	case OpLoadSlot:
+		d.x = xLoadSlot
+	case OpStoreSlot:
+		d.x = xStoreSlot
+	case OpStoreOut:
+		d.x = xStoreOut
+	case OpPrim:
+		if in.B >= 0 && in.B < len(p.Prims) {
+			d.def = p.Prims[in.B]
+			d.x = xPrim
+			if x, ok := specPrim(d.def.Name, in.Regs); ok {
+				// Repurpose b and c (the generic arm never reads them)
+				// as the argument registers.
+				d.x = x
+				d.b = in.Regs[0]
+				if len(in.Regs) == 2 {
+					d.c = in.Regs[1]
+				}
+			}
+		} else {
+			d.x = xFn
+			d.fn = hPrimSlow
+		}
+	case OpClosure:
+		d.x = xClosure
+	case OpClosurePatch:
+		d.x = xClosurePatch
+	case OpFreeRef:
+		d.x = xFreeRef
+	case OpJump:
+		d.x = xJump
+	case OpBranchFalse:
+		d.x = xBranchFalse
+	case OpCall:
+		d.x = xCall
+	case OpTailCall:
+		d.x = xTailCall
+	case OpCallCC:
+		d.x = xCallCC
+	case OpReturn:
+		d.x = xReturn
+	default:
+		d.x = xUnknown
+	}
+}
+
+// runThreaded is the pre-decoded dispatch loop. Every arm mirrors the
+// corresponding case of the reference loop exactly (switchloop.go is
+// the semantic baseline — change it first), reading resolved operands
+// from the dcode instead of re-decoding the Instr.
+func (m *Machine) runThreaded() (prim.Value, error) {
+	code := m.prog.engine().code
+	c := &m.Counters
+	// The fuel compare runs every instruction; folding "no limit" into
+	// a maximal budget makes it a single always-taken-false branch.
+	limit := m.MaxSteps
+	if limit <= 0 {
+		limit = int64(^uint64(0) >> 1)
+	}
+	for {
+		// pc is read into a local once per iteration: the helpers the
+		// arms call may reassign m.pc, so without the local the
+		// compiler must reload it (and re-check bounds) at every use.
+		pc := m.pc
+		if uint(pc) >= uint(len(code)) {
+			return nil, m.errf("pc out of range")
+		}
+		d := &code[pc]
+		if d.x != xFn {
+			c.Instructions++
+			c.Cycles++
+			if c.Instructions > limit {
+				return nil, &FuelError{Budget: m.MaxSteps, PC: pc}
+			}
+		}
+		switch d.x {
+		case xFn:
+			// Fused runs and slow paths tick per sub-instruction
+			// themselves.
+			if err := d.fn(m, d); err != nil {
+				return nil, err
+			}
+		case xHalt:
+			return m.readReg(RegRV)
+
+		case xEntry:
+			if m.argc != d.a {
+				name := m.prog.Procs[m.actTopProc()].Name
+				return nil, m.errf("%s expects %d arguments, got %d", name, d.a, m.argc)
+			}
+			m.ensureStack(m.fp + d.b + 16)
+			m.pc++
+
+		case xMove:
+			v, ok := m.regFast(d.b)
+			if !ok {
+				var err error
+				if v, err = m.readReg(d.b); err != nil {
+					return nil, err
+				}
+			}
+			m.writeReg(d.a, v)
+			m.pc++
+
+		case xLoadConst:
+			m.writeReg(d.a, d.val)
+			m.pc++
+
+		case xLoadGlobal:
+			v := m.globals[d.b]
+			if v == nil {
+				return nil, m.errf("unbound global %s", m.prog.GlobalNames[d.b])
+			}
+			m.writeReg(d.a, v)
+			m.pc++
+
+		case xStoreGlobal:
+			v, ok := m.regFast(d.a)
+			if !ok {
+				var err error
+				if v, err = m.readReg(d.a); err != nil {
+					return nil, err
+				}
+			}
+			m.globals[d.b] = v
+			m.pc++
+
+		case xLoadSlot:
+			v, ok := m.slotFast(m.fp + d.b)
+			if !ok {
+				var err error
+				if v, err = m.loadSlot(m.fp+d.b, d.kind); err != nil {
+					return nil, err
+				}
+			}
+			m.regs[d.a] = v
+			m.readyAt[d.a] = c.Cycles + m.cost.LoadLatency
+			m.pc++
+
+		case xStoreSlot:
+			v, ok := m.regFast(d.a)
+			if !ok {
+				var err error
+				if v, err = m.readReg(d.a); err != nil {
+					return nil, err
+				}
+			}
+			m.storeSlot(m.fp+d.b, v, d.kind)
+			m.pc++
+
+		case xStoreOut:
+			v, ok := m.regFast(d.a)
+			if !ok {
+				var err error
+				if v, err = m.readReg(d.a); err != nil {
+					return nil, err
+				}
+			}
+			m.storeSlot(m.fp+d.c+d.b, v, d.kind)
+			m.pc++
+
+		case xPrim:
+			// applyPrim (machine.go), hand-inlined: it is far past the
+			// compiler's inlining budget and the call overhead is
+			// measurable at this frequency. Keep the two in step.
+			regs := d.regs
+			if cap(m.argbuf) < len(regs) {
+				m.argbuf = make([]prim.Value, len(regs))
+			}
+			args := m.argbuf[:len(regs)]
+			for i, r := range regs {
+				if r >= 0 {
+					if v, ok := m.regFast(r); ok {
+						args[i] = v
+						continue
+					}
+				}
+				v, err := m.readOperand(r)
+				if err != nil {
+					return nil, err
+				}
+				args[i] = v
+			}
+			if m.fine {
+				c.PrimInstrs++
+			}
+			res, err := d.def.Fn(m.ctx, args)
+			if err != nil {
+				return nil, err
+			}
+			m.writeReg(d.a, res)
+			m.pc++
+
+		// Specialized primitive arms. Each mirrors the generic xPrim
+		// arm exactly — read the argument registers in order (with the
+		// same stall accounting), count the prim, produce the result,
+		// write it back — but computes the dominant type case inline
+		// and falls back to the table implementation (primFallback*)
+		// for every other case, including errors.
+		case xPCar, xPCdr, xPNullP, xPPairP, xPZeroP, xPAdd1, xPSub1,
+			xPSymbolP, xPVectorP, xPNumberP, xPBooleanP:
+			var v prim.Value
+			var ok bool
+			if d.b >= 0 {
+				v, ok = m.regFast(d.b)
+			}
+			if !ok {
+				var err error
+				if v, err = m.readOperand(d.b); err != nil {
+					return nil, err
+				}
+			}
+			if m.fine {
+				c.PrimInstrs++
+			}
+			var res prim.Value
+			switch d.x {
+			case xPCar:
+				if p, isPair := v.(*sexp.Pair); isPair {
+					res = prim.Unwrap(p.Car)
+				}
+			case xPCdr:
+				if p, isPair := v.(*sexp.Pair); isPair {
+					res = prim.Unwrap(p.Cdr)
+				}
+			case xPNullP:
+				_, isEmpty := v.(sexp.Empty)
+				res = sexp.Boolean(isEmpty)
+			case xPPairP:
+				_, isPair := v.(*sexp.Pair)
+				res = sexp.Boolean(isPair)
+			case xPZeroP:
+				if n, isFix := v.(sexp.Fixnum); isFix {
+					res = sexp.Boolean(n == 0)
+				}
+			case xPAdd1:
+				if n, isFix := v.(sexp.Fixnum); isFix {
+					res = n + 1
+				}
+			case xPSub1:
+				if n, isFix := v.(sexp.Fixnum); isFix {
+					res = n - 1
+				}
+			case xPSymbolP:
+				_, isSym := v.(sexp.Symbol)
+				res = sexp.Boolean(isSym)
+			case xPVectorP:
+				_, isVec := v.(*sexp.Vector)
+				res = sexp.Boolean(isVec)
+			case xPNumberP:
+				switch v.(type) {
+				case sexp.Fixnum, sexp.Flonum:
+					res = sexp.Boolean(true)
+				default:
+					res = sexp.Boolean(false)
+				}
+			case xPBooleanP:
+				_, isBool := v.(sexp.Boolean)
+				res = sexp.Boolean(isBool)
+			}
+			if res == nil {
+				var err error
+				if res, err = m.primFallback1(d, v); err != nil {
+					return nil, err
+				}
+			}
+			m.writeReg(d.a, res)
+			m.pc++
+
+		case xPCons, xPEq, xPAdd, xPSub, xPMul, xPLt, xPNumEq,
+			xPVectorRef, xPStringRef, xPCharEq:
+			var x, y prim.Value
+			var ok bool
+			if d.b >= 0 {
+				x, ok = m.regFast(d.b)
+			}
+			if !ok {
+				var err error
+				if x, err = m.readOperand(d.b); err != nil {
+					return nil, err
+				}
+			}
+			ok = false
+			if d.c >= 0 {
+				y, ok = m.regFast(d.c)
+			}
+			if !ok {
+				var err error
+				if y, err = m.readOperand(d.c); err != nil {
+					return nil, err
+				}
+			}
+			if m.fine {
+				c.PrimInstrs++
+			}
+			var res prim.Value
+			switch d.x {
+			case xPCons:
+				if xd, okx := x.(sexp.Datum); okx {
+					if yd, oky := y.(sexp.Datum); oky {
+						res = &sexp.Pair{Car: xd, Cdr: yd}
+					}
+				}
+			case xPEq:
+				res = sexp.Boolean(prim.Eqv(x, y))
+			case xPVectorRef:
+				if vec, okv := x.(*sexp.Vector); okv {
+					if i, oki := y.(sexp.Fixnum); oki && i >= 0 && int(i) < len(vec.Items) {
+						res = prim.Unwrap(vec.Items[i])
+					}
+				}
+			case xPStringRef:
+				if str, oks := x.(sexp.Str); oks {
+					if i, oki := y.(sexp.Fixnum); oki && i >= 0 && int(i) < len(str) {
+						res = sexp.Char(str[i])
+					}
+				}
+			case xPCharEq:
+				if xc, okx := x.(sexp.Char); okx {
+					if yc, oky := y.(sexp.Char); oky {
+						res = sexp.Boolean(xc == yc)
+					}
+				}
+			default:
+				if xn, okx := x.(sexp.Fixnum); okx {
+					if yn, oky := y.(sexp.Fixnum); oky {
+						switch d.x {
+						case xPAdd:
+							res = xn + yn
+						case xPSub:
+							res = xn - yn
+						case xPMul:
+							res = xn * yn
+						case xPLt:
+							res = sexp.Boolean(xn < yn)
+						case xPNumEq:
+							res = sexp.Boolean(xn == yn)
+						}
+					}
+				}
+			}
+			if res == nil {
+				var err error
+				if res, err = m.primFallback2(d, x, y); err != nil {
+					return nil, err
+				}
+			}
+			m.writeReg(d.a, res)
+			m.pc++
+
+		case xPredBr:
+			// Predicate part: exactly the specialized arm for d.pk.
+			var x, y prim.Value
+			var ok bool
+			if d.b >= 0 {
+				x, ok = m.regFast(d.b)
+			}
+			if !ok {
+				var err error
+				if x, err = m.readOperand(d.b); err != nil {
+					return nil, err
+				}
+			}
+			if d.pk == xPEq || d.pk == xPLt || d.pk == xPNumEq || d.pk == xPCharEq {
+				ok = false
+				if d.c >= 0 {
+					y, ok = m.regFast(d.c)
+				}
+				if !ok {
+					var err error
+					if y, err = m.readOperand(d.c); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if m.fine {
+				c.PrimInstrs++
+			}
+			var res prim.Value
+			switch d.pk {
+			case xPNullP:
+				_, isEmpty := x.(sexp.Empty)
+				res = sexp.Boolean(isEmpty)
+			case xPPairP:
+				_, isPair := x.(*sexp.Pair)
+				res = sexp.Boolean(isPair)
+			case xPZeroP:
+				if n, isFix := x.(sexp.Fixnum); isFix {
+					res = sexp.Boolean(n == 0)
+				}
+			case xPEq:
+				res = sexp.Boolean(prim.Eqv(x, y))
+			case xPLt:
+				if xn, okx := x.(sexp.Fixnum); okx {
+					if yn, oky := y.(sexp.Fixnum); oky {
+						res = sexp.Boolean(xn < yn)
+					}
+				}
+			case xPNumEq:
+				if xn, okx := x.(sexp.Fixnum); okx {
+					if yn, oky := y.(sexp.Fixnum); oky {
+						res = sexp.Boolean(xn == yn)
+					}
+				}
+			case xPSymbolP:
+				_, isSym := x.(sexp.Symbol)
+				res = sexp.Boolean(isSym)
+			case xPVectorP:
+				_, isVec := x.(*sexp.Vector)
+				res = sexp.Boolean(isVec)
+			case xPNumberP:
+				switch x.(type) {
+				case sexp.Fixnum, sexp.Flonum:
+					res = sexp.Boolean(true)
+				default:
+					res = sexp.Boolean(false)
+				}
+			case xPBooleanP:
+				_, isBool := x.(sexp.Boolean)
+				res = sexp.Boolean(isBool)
+			case xPCharEq:
+				if xc, okx := x.(sexp.Char); okx {
+					if yc, oky := y.(sexp.Char); oky {
+						res = sexp.Boolean(xc == yc)
+					}
+				}
+			}
+			if res == nil {
+				var err error
+				switch d.pk {
+				case xPEq, xPLt, xPNumEq, xPCharEq:
+					res, err = m.primFallback2(d, x, y)
+				default:
+					res, err = m.primFallback1(d, x)
+				}
+				if err != nil {
+					return nil, err
+				}
+			}
+			m.writeReg(d.a, res)
+			m.pc++
+			// Branch part: the following OpBranchFalse's dispatch
+			// accounting and branch logic. Re-reading the condition
+			// register is skipped — it was written one line up, so the
+			// read could never stall or trap.
+			c.Instructions++
+			c.Cycles++
+			if c.Instructions > limit {
+				return nil, &FuelError{Budget: m.MaxSteps, PC: m.pc}
+			}
+			taken := !prim.Truthy(res)
+			if m.fine {
+				c.Branches++
+				if d.predict != 0 {
+					c.PredictedBranches++
+					if taken != (d.predict > 0) {
+						c.Mispredicts++
+						c.Cycles += m.cost.BranchMispredict
+					}
+				}
+			} else if d.predict != 0 && taken != (d.predict > 0) {
+				c.Cycles += m.cost.BranchMispredict
+			}
+			if taken {
+				m.pc = d.tgt
+			} else {
+				m.pc++
+			}
+
+		case xPrimSt:
+			// Primitive part: exactly the specialized arm for d.pk.
+			var x, y prim.Value
+			var ok bool
+			if d.b >= 0 {
+				x, ok = m.regFast(d.b)
+			}
+			if !ok {
+				var err error
+				if x, err = m.readOperand(d.b); err != nil {
+					return nil, err
+				}
+			}
+			two := spec2(d.pk)
+			if two {
+				ok = false
+				if d.c >= 0 {
+					y, ok = m.regFast(d.c)
+				}
+				if !ok {
+					var err error
+					if y, err = m.readOperand(d.c); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if m.fine {
+				c.PrimInstrs++
+			}
+			var res prim.Value
+			if two {
+				res = specCompute2(d.pk, x, y)
+			} else {
+				res = specCompute1(d.pk, x)
+			}
+			if res == nil {
+				var err error
+				if two {
+					res, err = m.primFallback2(d, x, y)
+				} else {
+					res, err = m.primFallback1(d, x)
+				}
+				if err != nil {
+					return nil, err
+				}
+			}
+			m.writeReg(d.a, res)
+			m.pc++
+			// Store part: the following OpStoreSlot's dispatch accounting
+			// and effect. Re-reading the source register is skipped — it
+			// was written one line up, so the read could never stall or
+			// trap.
+			c.Instructions++
+			c.Cycles++
+			if c.Instructions > limit {
+				return nil, &FuelError{Budget: m.MaxSteps, PC: m.pc}
+			}
+			m.storeSlot(m.fp+d.tgt, res, d.kind)
+			m.pc++
+
+		case xHeadSt:
+			// Producer part: exactly the single arm for d.pk.
+			var v prim.Value
+			switch d.pk {
+			case xLoadConst:
+				v = d.val
+			case xLoadGlobal:
+				v = m.globals[d.b]
+				if v == nil {
+					return nil, m.errf("unbound global %s", m.prog.GlobalNames[d.b])
+				}
+			default: // xMove
+				var ok bool
+				if v, ok = m.regFast(d.b); !ok {
+					var err error
+					if v, err = m.readReg(d.b); err != nil {
+						return nil, err
+					}
+				}
+			}
+			m.writeReg(d.a, v)
+			m.pc++
+			// Store part, as in xPrimSt.
+			c.Instructions++
+			c.Cycles++
+			if c.Instructions > limit {
+				return nil, &FuelError{Budget: m.MaxSteps, PC: m.pc}
+			}
+			if d.stOut {
+				m.storeSlot(m.fp+d.c+d.tgt, v, d.kind)
+			} else {
+				m.storeSlot(m.fp+d.tgt, v, d.kind)
+			}
+			m.pc++
+
+		case xClosure:
+			free := make([]prim.Value, len(d.regs))
+			for i, r := range d.regs {
+				v, err := m.readOperand(r)
+				if err != nil {
+					return nil, err
+				}
+				free[i] = v
+			}
+			m.writeReg(d.a, &Closure{Proc: d.b, Free: free})
+			m.pc++
+
+		case xClosurePatch:
+			cv, err := m.readReg(d.a)
+			if err != nil {
+				return nil, err
+			}
+			cl, ok := cv.(*Closure)
+			if !ok {
+				return nil, m.errf("closure-patch of non-closure")
+			}
+			v, err := m.readReg(d.c)
+			if err != nil {
+				return nil, err
+			}
+			cl.Free[d.b] = v
+			m.pc++
+
+		case xFreeRef:
+			cpv, err := m.readReg(RegCP)
+			if err != nil {
+				return nil, err
+			}
+			cl, ok := cpv.(*Closure)
+			if !ok {
+				return nil, m.errf("free-ref with non-closure cp")
+			}
+			m.writeReg(d.a, cl.Free[d.b])
+			m.pc++
+
+		case xJump:
+			m.pc = d.a
+
+		case xBranchFalse:
+			v, ok := m.regFast(d.a)
+			if !ok {
+				var err error
+				if v, err = m.readReg(d.a); err != nil {
+					return nil, err
+				}
+			}
+			taken := !prim.Truthy(v)
+			if m.fine {
+				c.Branches++
+				if d.predict != 0 {
+					c.PredictedBranches++
+					predictedTaken := d.predict > 0
+					if taken != predictedTaken {
+						c.Mispredicts++
+						c.Cycles += m.cost.BranchMispredict
+					}
+				}
+			} else if d.predict != 0 && taken != (d.predict > 0) {
+				// Counters are off, but the mispredict penalty is part
+				// of the cycle accounting and must still be charged.
+				c.Cycles += m.cost.BranchMispredict
+			}
+			if taken {
+				m.pc = d.b
+			} else {
+				m.pc++
+			}
+
+		case xCall:
+			if err := m.call(d.a, m.fp+d.b, false); err != nil {
+				return nil, err
+			}
+
+		case xTailCall:
+			if err := m.call(d.a, m.fp, true); err != nil {
+				return nil, err
+			}
+
+		case xCallCC:
+			if err := m.callCC(d.b); err != nil {
+				return nil, err
+			}
+
+		case xReturn:
+			rv, rok := m.regFast(RegRet)
+			if !rok {
+				var err error
+				if rv, err = m.readReg(RegRet); err != nil {
+					return nil, err
+				}
+			}
+			ra, ok := rv.(RetAddr)
+			if !ok {
+				return nil, m.errf("return with corrupt ret register (%s)", prim.WriteString(rv))
+			}
+			if len(m.acts) == 0 {
+				return nil, m.errf("return with empty activation stack")
+			}
+			m.classifyTop()
+			m.acts = m.acts[:len(m.acts)-1]
+			m.pc = ra.PC
+			m.fp = ra.FP
+			m.poisonAfterCall()
+
+		default:
+			return nil, m.errf("unknown opcode %d", d.op)
+		}
+	}
+}
+
+// primFallback1 and primFallback2 route a specialized-arm miss to the
+// primitive's table implementation with the already-read arguments, so
+// the result — value or error — is exactly the generic arm's.
+func (m *Machine) primFallback1(d *dcode, v prim.Value) (prim.Value, error) {
+	if cap(m.argbuf) < 1 {
+		m.argbuf = make([]prim.Value, 4)
+	}
+	args := m.argbuf[:1]
+	args[0] = v
+	return d.def.Fn(m.ctx, args)
+}
+
+func (m *Machine) primFallback2(d *dcode, x, y prim.Value) (prim.Value, error) {
+	if cap(m.argbuf) < 2 {
+		m.argbuf = make([]prim.Value, 4)
+	}
+	args := m.argbuf[:2]
+	args[0], args[1] = x, y
+	return d.def.Fn(m.ctx, args)
+}
+
+// tick charges the dispatch cycle and the fuel meter for one
+// instruction, exactly as the dispatch loops' preambles do. Fused runs
+// and slow-path handlers call it once per sub-instruction.
+func (m *Machine) tick() error {
+	c := &m.Counters
+	c.Instructions++
+	c.Cycles++
+	if m.MaxSteps > 0 && c.Instructions > m.MaxSteps {
+		return &FuelError{Budget: m.MaxSteps, PC: m.pc}
+	}
+	return nil
+}
+
+// hLoadConstSlow handles mutable constants (copied per load) and
+// out-of-range pool references (which panic, as in the switch loop).
+func hLoadConstSlow(m *Machine, d *dcode) error {
+	if err := m.tick(); err != nil {
+		return err
+	}
+	v := m.prog.Consts[d.b]
+	if m.prog.ConstMutable[d.b] {
+		v = copyConst(v)
+	}
+	m.writeReg(d.a, v)
+	m.pc++
+	return nil
+}
+
+// hPrimSlow handles out-of-range primitive pool references (panics at
+// execution time, as in the switch loop).
+func hPrimSlow(m *Machine, d *dcode) error {
+	if err := m.tick(); err != nil {
+		return err
+	}
+	if err := m.applyPrim(d.a, m.prog.Prims[d.b], d.regs); err != nil {
+		return err
+	}
+	m.pc++
+	return nil
+}

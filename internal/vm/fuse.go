@@ -1,0 +1,262 @@
+package vm
+
+// Superinstruction fusion: the allocator's hot straight-line patterns —
+// save sequences (runs of OpStoreSlot placed by §2.1.2 lazy saves),
+// eager-restore sequences (runs of OpLoadSlot placed by the §3 pass-2
+// restore placement), argument shuffle chains (runs of OpMove emitted
+// by the §2.3 greedy shuffler), and outgoing-argument stores (runs of
+// OpStoreOut) — are collapsed into single fused handlers, so a k-long
+// run costs one dispatch instead of k. PAPERS.md's "Optimal Shuffle
+// Code with Permutation Instructions" motivates exactly this: a fused
+// move-run is the software analogue of a permutation instruction.
+//
+// Fusion is a pure overlay: only the run's first pc gets the fused
+// handler; the remaining pcs keep their single-instruction handlers, so
+// even if control somehow entered mid-run the semantics would be
+// unchanged. It cannot, though: a run never extends across a control
+// join — a procedure entry, a jump or branch target, or a call return
+// point (pc+1 of OpCall/OpCallCC) — as computed by joinPoints below
+// from the same instruction decoding (defuse.go semantics) the verifier
+// uses.
+//
+// Cycle identity: fused handlers charge the dispatch cycle, fuel unit,
+// memory penalty and load-use stall of every fused sub-instruction in
+// the exact order the switch loop would, advancing m.pc element by
+// element so RuntimeError and FuelError program counters are identical.
+
+// fusedEl is one sub-instruction of a fused run.
+type fusedEl struct {
+	a, b, c int
+	kind    SlotKind
+}
+
+// fusible reports whether op participates in run fusion.
+func fusible(op Op) bool {
+	switch op {
+	case OpMove, OpLoadSlot, OpStoreSlot, OpStoreOut:
+		return true
+	}
+	return false
+}
+
+// joinPoints marks every pc at which control can enter other than by
+// falling through: procedure entries, jump and branch targets, call
+// return points, and the halt at pc 0 that main returns to.
+func joinPoints(p *Program) []bool {
+	join := make([]bool, len(p.Code))
+	mark := func(pc int) {
+		if pc >= 0 && pc < len(join) {
+			join[pc] = true
+		}
+	}
+	mark(0)
+	for _, pi := range p.Procs {
+		mark(pi.Entry)
+	}
+	for pc, in := range p.Code {
+		switch in.Op {
+		case OpJump:
+			mark(in.A)
+		case OpBranchFalse:
+			mark(in.B)
+		case OpCall, OpCallCC:
+			mark(pc + 1)
+		}
+	}
+	return join
+}
+
+// fuse overlays fused handlers onto maximal homogeneous runs of length
+// >= 2 that contain no interior join point.
+func fuse(p *Program, code []dcode) {
+	join := joinPoints(p)
+	for i := 0; i < len(p.Code); {
+		op := p.Code[i].Op
+		if !fusible(op) {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(p.Code) && p.Code[j].Op == op && !join[j] {
+			j++
+		}
+		if j-i >= 2 {
+			els := make([]fusedEl, j-i)
+			for k := i; k < j; k++ {
+				in := &p.Code[k]
+				els[k-i] = fusedEl{a: in.A, b: in.B, c: in.C, kind: in.Kind}
+			}
+			d := &code[i]
+			d.els = els
+			d.x = xFn
+			switch op {
+			case OpMove:
+				d.fn = hMoveRun
+			case OpLoadSlot:
+				d.fn = hLoadRun
+			case OpStoreSlot:
+				d.fn = hStoreRun
+			case OpStoreOut:
+				d.fn = hStoreOutRun
+			}
+		}
+		i = j
+	}
+	fusePredBr(p, code, join)
+	fusePrimStore(p, code, join)
+	fuseHeadStore(p, code, join)
+}
+
+// fusePredBr overlays xPredBr onto (specialized predicate, branch-false)
+// pairs where the branch tests the predicate's destination register and
+// is not itself a join point. Like run fusion it is a pure overlay: the
+// branch's own dcode is untouched, so a jump straight to it behaves
+// normally.
+func fusePredBr(p *Program, code []dcode, join []bool) {
+	for i := 0; i+1 < len(code); i++ {
+		d := &code[i]
+		switch d.x {
+		case xPNullP, xPPairP, xPZeroP, xPEq, xPLt, xPNumEq,
+			xPSymbolP, xPVectorP, xPNumberP, xPBooleanP, xPCharEq:
+		default:
+			continue
+		}
+		br := &p.Code[i+1]
+		if br.Op != OpBranchFalse || br.A != d.a || join[i+1] {
+			continue
+		}
+		d.pk = d.x
+		d.x = xPredBr
+		d.tgt = br.B
+		d.predict = br.Predict
+	}
+}
+
+// fusePrimStore overlays xPrimSt onto (specialized primitive, store-slot)
+// pairs where the store saves the primitive's destination register and is
+// not a join point. Runs after fusePredBr, so predicate-branch pairs win
+// when both could apply.
+func fusePrimStore(p *Program, code []dcode, join []bool) {
+	for i := 0; i+1 < len(code); i++ {
+		d := &code[i]
+		if !isSpecPrim(d.x) {
+			continue
+		}
+		st := &p.Code[i+1]
+		if st.Op != OpStoreSlot || st.A != d.a || join[i+1] {
+			continue
+		}
+		d.pk = d.x
+		d.x = xPrimSt
+		d.tgt = st.B
+		d.kind = st.Kind
+	}
+}
+
+// hMoveRun executes a fused shuffle chain (run of OpMove).
+func hMoveRun(m *Machine, d *dcode) error {
+	for i := range d.els {
+		e := &d.els[i]
+		if err := m.tick(); err != nil {
+			return err
+		}
+		v, ok := m.regFast(e.b)
+		if !ok {
+			var err error
+			if v, err = m.readReg(e.b); err != nil {
+				return err
+			}
+		}
+		m.writeReg(e.a, v)
+		m.pc++
+	}
+	return nil
+}
+
+// hLoadRun executes a fused restore sequence (run of OpLoadSlot).
+func hLoadRun(m *Machine, d *dcode) error {
+	for i := range d.els {
+		e := &d.els[i]
+		if err := m.tick(); err != nil {
+			return err
+		}
+		v, ok := m.slotFast(m.fp + e.b)
+		if !ok {
+			var err error
+			if v, err = m.loadSlot(m.fp+e.b, e.kind); err != nil {
+				return err
+			}
+		}
+		m.regs[e.a] = v
+		m.readyAt[e.a] = m.Counters.Cycles + m.cost.LoadLatency
+		m.pc++
+	}
+	return nil
+}
+
+// hStoreRun executes a fused save sequence (run of OpStoreSlot).
+func hStoreRun(m *Machine, d *dcode) error {
+	for i := range d.els {
+		e := &d.els[i]
+		if err := m.tick(); err != nil {
+			return err
+		}
+		v, ok := m.regFast(e.a)
+		if !ok {
+			var err error
+			if v, err = m.readReg(e.a); err != nil {
+				return err
+			}
+		}
+		m.storeSlot(m.fp+e.b, v, e.kind)
+		m.pc++
+	}
+	return nil
+}
+
+// hStoreOutRun executes a fused outgoing-argument sequence (run of
+// OpStoreOut).
+func hStoreOutRun(m *Machine, d *dcode) error {
+	for i := range d.els {
+		e := &d.els[i]
+		if err := m.tick(); err != nil {
+			return err
+		}
+		v, ok := m.regFast(e.a)
+		if !ok {
+			var err error
+			if v, err = m.readReg(e.a); err != nil {
+				return err
+			}
+		}
+		m.storeSlot(m.fp+e.c+e.b, v, e.kind)
+		m.pc++
+	}
+	return nil
+}
+
+// fuseHeadStore overlays xHeadSt onto (load-const | load-global | move,
+// store) pairs where the store saves the producer's destination register
+// and is not a join point.
+func fuseHeadStore(p *Program, code []dcode, join []bool) {
+	for i := 0; i+1 < len(code); i++ {
+		d := &code[i]
+		switch d.x {
+		case xLoadConst, xLoadGlobal, xMove:
+		default:
+			continue
+		}
+		st := &p.Code[i+1]
+		if (st.Op != OpStoreSlot && st.Op != OpStoreOut) || st.A != d.a || join[i+1] {
+			continue
+		}
+		d.pk = d.x
+		d.x = xHeadSt
+		d.tgt = st.B
+		d.kind = st.Kind
+		if st.Op == OpStoreOut {
+			d.stOut = true
+			d.c = st.C
+		}
+	}
+}

@@ -3,6 +3,7 @@ package vm
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/prim"
 	"repro/internal/sexp"
@@ -139,6 +140,14 @@ type Program struct {
 	// assignment so the translation validator (internal/verify) can check
 	// the emitted move sequence against the allocator's intent.
 	Shuffles []ShuffleRecord
+
+	// The pre-decoded threaded form (exec.go), built once on first run
+	// and shared by every Machine executing this program. Because of
+	// this cache, Code must not be mutated after a Machine has run the
+	// program (static tools that corrupt Code for negative tests must
+	// do so before the first run, or build a fresh Program).
+	engOnce sync.Once
+	eng     *engineCode
 }
 
 // ShuffleAssign is one transfer a call's argument shuffle must realize:

@@ -26,9 +26,30 @@ type Machine struct {
 	acts    []actEntry
 	ctx     *prim.Ctx
 	argbuf  []prim.Value
+	// retCache interns RetAddr boxes by (return pc, fp). Boxing a
+	// RetAddr into a prim.Value heap-allocates, and call-heavy programs
+	// paid one allocation per non-tail call — by far the machine's
+	// hottest allocation site. A RetAddr is boxed by value and never
+	// mutated, so sharing one box per (pc, fp) pair is invisible to the
+	// program; call sites and frame depths repeat, so the cache hits
+	// almost always after warm-up.
+	retCache [][]prim.Value
+	// fine caches Counting == CountFull for the duration of a run.
+	fine bool
 
 	// Counters accumulates all measurements.
 	Counters Counters
+	// Counting selects the counter fidelity: CountFull (default)
+	// maintains every measurement; CountEssential keeps only the cost
+	// model's outputs (instructions, cycles, stalls, stack reads and
+	// writes — with cycle counts identical to CountFull) and skips the
+	// rest of the bookkeeping.
+	Counting CounterMode
+	// Engine selects the execution engine: EngineThreaded (default,
+	// pre-decoded handlers with superinstruction fusion) or
+	// EngineSwitch (the reference decode-every-step loop). Both are
+	// observably identical; see exec.go.
+	Engine EngineKind
 	// MaxSteps is the execution fuel: the maximum number of instructions
 	// the machine may execute before Run returns a *FuelError matching
 	// ErrFuelExhausted (0 = unlimited). It is the only way to bound a
@@ -106,6 +127,7 @@ func (m *Machine) errf(format string, args ...interface{}) error {
 
 // Run executes the program and returns its result value.
 func (m *Machine) Run() (prim.Value, error) {
+	m.fine = m.Counting == CountFull
 	main := m.prog.Procs[m.prog.MainIndex]
 	m.regs[RegCP] = &Closure{Proc: m.prog.MainIndex}
 	m.regs[RegRet] = RetAddr{PC: 0, FP: 0} // code[0] is halt
@@ -113,203 +135,39 @@ func (m *Machine) Run() (prim.Value, error) {
 	m.fp = 0
 	m.argc = 0
 	m.acts = append(m.acts[:0], actEntry{proc: int32(m.prog.MainIndex)})
-	m.Counters.Activations++
-	m.Counters.PerProc[m.prog.MainIndex].Activations++
-	return m.loop()
+	if m.fine {
+		m.Counters.Activations++
+		m.Counters.PerProc[m.prog.MainIndex].Activations++
+	}
+	if m.Engine == EngineSwitch {
+		return m.loop()
+	}
+	return m.runThreaded()
 }
 
-func (m *Machine) loop() (prim.Value, error) {
-	c := &m.Counters
-	for {
-		if m.pc < 0 || m.pc >= len(m.prog.Code) {
-			return nil, m.errf("pc out of range")
-		}
-		in := &m.prog.Code[m.pc]
-		c.Instructions++
-		c.Cycles++
-		if m.MaxSteps > 0 && c.Instructions > m.MaxSteps {
-			return nil, &FuelError{Budget: m.MaxSteps, PC: m.pc}
-		}
-		switch in.Op {
-		case OpHalt:
-			v, err := m.readReg(RegRV)
-			if err != nil {
-				return nil, err
-			}
-			return v, nil
-
-		case OpEntry:
-			if m.argc != in.A {
-				name := m.prog.Procs[m.actTopProc()].Name
-				return nil, m.errf("%s expects %d arguments, got %d", name, in.A, m.argc)
-			}
-			m.ensureStack(m.fp + in.B + 16)
-			m.pc++
-
-		case OpMove:
-			v, err := m.readReg(in.B)
-			if err != nil {
-				return nil, err
-			}
-			m.writeReg(in.A, v)
-			m.pc++
-
-		case OpLoadConst:
-			v := m.prog.Consts[in.B]
-			if m.prog.ConstMutable[in.B] {
-				v = copyConst(v)
-			}
-			m.writeReg(in.A, v)
-			m.pc++
-
-		case OpLoadGlobal:
-			v := m.globals[in.B]
-			if v == nil {
-				return nil, m.errf("unbound global %s", m.prog.GlobalNames[in.B])
-			}
-			m.writeReg(in.A, v)
-			m.pc++
-
-		case OpStoreGlobal:
-			v, err := m.readReg(in.A)
-			if err != nil {
-				return nil, err
-			}
-			m.globals[in.B] = v
-			m.pc++
-
-		case OpLoadSlot:
-			v, err := m.loadSlot(m.fp+in.B, in.Kind)
-			if err != nil {
-				return nil, err
-			}
-			m.regs[in.A] = v
-			m.readyAt[in.A] = c.Cycles + m.cost.LoadLatency
-			m.pc++
-
-		case OpStoreSlot:
-			v, err := m.readReg(in.A)
-			if err != nil {
-				return nil, err
-			}
-			m.storeSlot(m.fp+in.B, v, in.Kind)
-			m.pc++
-
-		case OpStoreOut:
-			v, err := m.readReg(in.A)
-			if err != nil {
-				return nil, err
-			}
-			m.storeSlot(m.fp+in.C+in.B, v, in.Kind)
-			m.pc++
-
-		case OpPrim:
-			if err := m.doPrim(in); err != nil {
-				return nil, err
-			}
-			m.pc++
-
-		case OpClosure:
-			free := make([]prim.Value, len(in.Regs))
-			for i, r := range in.Regs {
-				v, err := m.readOperand(r)
-				if err != nil {
-					return nil, err
-				}
-				free[i] = v
-			}
-			m.writeReg(in.A, &Closure{Proc: in.B, Free: free})
-			m.pc++
-
-		case OpClosurePatch:
-			cv, err := m.readReg(in.A)
-			if err != nil {
-				return nil, err
-			}
-			cl, ok := cv.(*Closure)
-			if !ok {
-				return nil, m.errf("closure-patch of non-closure")
-			}
-			v, err := m.readReg(in.C)
-			if err != nil {
-				return nil, err
-			}
-			cl.Free[in.B] = v
-			m.pc++
-
-		case OpFreeRef:
-			cpv, err := m.readReg(RegCP)
-			if err != nil {
-				return nil, err
-			}
-			cl, ok := cpv.(*Closure)
-			if !ok {
-				return nil, m.errf("free-ref with non-closure cp")
-			}
-			m.writeReg(in.A, cl.Free[in.B])
-			m.pc++
-
-		case OpJump:
-			m.pc = in.A
-
-		case OpBranchFalse:
-			v, err := m.readReg(in.A)
-			if err != nil {
-				return nil, err
-			}
-			taken := !prim.Truthy(v)
-			c.Branches++
-			if in.Predict != 0 {
-				c.PredictedBranches++
-				predictedTaken := in.Predict > 0
-				if taken != predictedTaken {
-					c.Mispredicts++
-					c.Cycles += m.cost.BranchMispredict
-				}
-			}
-			if taken {
-				m.pc = in.B
-			} else {
-				m.pc++
-			}
-
-		case OpCall:
-			if err := m.call(in.A, m.fp+in.B, false); err != nil {
-				return nil, err
-			}
-
-		case OpTailCall:
-			if err := m.call(in.A, m.fp, true); err != nil {
-				return nil, err
-			}
-
-		case OpCallCC:
-			if err := m.callCC(in); err != nil {
-				return nil, err
-			}
-
-		case OpReturn:
-			rv, err := m.readReg(RegRet)
-			if err != nil {
-				return nil, err
-			}
-			ra, ok := rv.(RetAddr)
-			if !ok {
-				return nil, m.errf("return with corrupt ret register (%s)", prim.WriteString(rv))
-			}
-			if len(m.acts) == 0 {
-				return nil, m.errf("return with empty activation stack")
-			}
-			m.classifyTop()
-			m.acts = m.acts[:len(m.acts)-1]
-			m.pc = ra.PC
-			m.fp = ra.FP
-			m.poisonAfterCall()
-
-		default:
-			return nil, m.errf("unknown opcode %d", in.Op)
-		}
+// retAddr returns the interned boxed RetAddr for (pc, fp), creating it
+// on first use. pc is always m.pc+1 <= len(Code) and fp >= 0, but both
+// are range-checked so a hostile program cannot force a huge table.
+func (m *Machine) retAddr(pc, fp int) prim.Value {
+	if pc < 0 || fp < 0 || pc > len(m.prog.Code) {
+		return RetAddr{PC: pc, FP: fp}
 	}
+	if m.retCache == nil {
+		m.retCache = make([][]prim.Value, len(m.prog.Code)+1)
+	}
+	row := m.retCache[pc]
+	if fp >= len(row) {
+		grown := make([]prim.Value, max(fp+1, 2*len(row)))
+		copy(grown, row)
+		row = grown
+		m.retCache[pc] = row
+	}
+	v := row[fp]
+	if v == nil {
+		v = RetAddr{PC: pc, FP: fp}
+		row[fp] = v
+	}
+	return v
 }
 
 // call dispatches a procedure invocation. newFP is the callee frame
@@ -321,22 +179,26 @@ func (m *Machine) call(argc, newFP int, tail bool) error {
 	}
 	if !tail {
 		m.acts[len(m.acts)-1].madeCall = true
-		m.Counters.Calls++
-	} else {
+		if m.fine {
+			m.Counters.Calls++
+		}
+	} else if m.fine {
 		m.Counters.TailCalls++
 	}
 	switch callee := calleeV.(type) {
 	case *Closure:
 		proc := &m.prog.Procs[callee.Proc]
 		if !tail {
-			m.regs[RegRet] = RetAddr{PC: m.pc + 1, FP: m.fp}
+			m.regs[RegRet] = m.retAddr(m.pc+1, m.fp)
 			m.acts = append(m.acts, actEntry{proc: int32(callee.Proc)})
 		} else {
 			m.classifyTop()
 			m.acts[len(m.acts)-1] = actEntry{proc: int32(callee.Proc)}
 		}
-		m.Counters.Activations++
-		m.Counters.PerProc[callee.Proc].Activations++
+		if m.fine {
+			m.Counters.Activations++
+			m.Counters.PerProc[callee.Proc].Activations++
+		}
 		m.fp = newFP
 		m.argc = argc
 		m.pc = proc.Entry
@@ -393,9 +255,10 @@ func (m *Machine) call(argc, newFP int, tail bool) error {
 }
 
 // callCC captures the continuation and invokes the receiver in cp with
-// it as the single argument.
-func (m *Machine) callCC(in *Instr) error {
-	newFP := m.fp + in.B
+// it as the single argument. frame is the caller's frame size (the
+// instruction's B operand).
+func (m *Machine) callCC(frame int) error {
+	newFP := m.fp + frame
 	k := &Cont{
 		Stack:    append([]prim.Value(nil), m.stack[:min(newFP, len(m.stack))]...),
 		FP:       m.fp,
@@ -452,25 +315,36 @@ func (m *Machine) collectArgs(argc, newFP int) ([]prim.Value, error) {
 	return args, nil
 }
 
-func (m *Machine) doPrim(in *Instr) error {
-	def := m.prog.Prims[in.B]
-	if cap(m.argbuf) < len(in.Regs) {
-		m.argbuf = make([]prim.Value, len(in.Regs))
+// applyPrim applies an open-coded primitive: it reads the encoded
+// operands, invokes def and stores the result in register dst. Both
+// engines call it (the threaded engine with the definition resolved at
+// decode time).
+func (m *Machine) applyPrim(dst int, def *prim.Def, regs []int) error {
+	if cap(m.argbuf) < len(regs) {
+		m.argbuf = make([]prim.Value, len(regs))
 	}
-	args := m.argbuf[:len(in.Regs)]
-	for i, r := range in.Regs {
+	args := m.argbuf[:len(regs)]
+	for i, r := range regs {
+		if r >= 0 {
+			if v, ok := m.regFast(r); ok {
+				args[i] = v
+				continue
+			}
+		}
 		v, err := m.readOperand(r)
 		if err != nil {
 			return err
 		}
 		args[i] = v
 	}
-	m.Counters.PrimInstrs++
+	if m.fine {
+		m.Counters.PrimInstrs++
+	}
 	res, err := def.Fn(m.ctx, args)
 	if err != nil {
 		return err
 	}
-	m.writeReg(in.A, res)
+	m.writeReg(dst, res)
 	return nil
 }
 
@@ -488,6 +362,18 @@ func (m *Machine) readOperand(r int) (prim.Value, error) {
 	m.Counters.Cycles += m.cost.LoadLatency
 	m.Counters.StallCycles += m.cost.LoadLatency
 	return v, nil
+}
+
+// regFast is the inlinable fast path of readReg: a plain register read
+// when no load-use stall is pending and restore validation is off. The
+// second result is false when the caller must take readReg instead —
+// keeping that call out of this function is what keeps it under the
+// inlining budget.
+func (m *Machine) regFast(r int) (prim.Value, bool) {
+	if m.readyAt[r] > m.Counters.Cycles || m.ValidateRestores {
+		return nil, false
+	}
+	return m.regs[r], true
 }
 
 func (m *Machine) readReg(r int) (prim.Value, error) {
@@ -509,12 +395,26 @@ func (m *Machine) writeReg(r int, v prim.Value) {
 	m.readyAt[r] = 0
 }
 
+// slotFast is the inlinable fast path of loadSlot: an in-range read
+// with counters off needs no per-kind bookkeeping and cannot fail. The
+// second result is false when the caller must take loadSlot instead.
+func (m *Machine) slotFast(addr int) (prim.Value, bool) {
+	if uint(addr) >= uint(len(m.stack)) || m.fine {
+		return nil, false
+	}
+	m.Counters.StackReads++
+	m.Counters.Cycles += m.cost.MemPenalty
+	return m.stack[addr], true
+}
+
 func (m *Machine) loadSlot(addr int, kind SlotKind) (prim.Value, error) {
 	if addr < 0 || addr >= len(m.stack) {
 		return nil, m.errf("stack load out of range (%d)", addr)
 	}
 	m.Counters.StackReads++
-	m.Counters.ReadsByKind[kind]++
+	if m.fine {
+		m.Counters.ReadsByKind[kind]++
+	}
 	m.Counters.Cycles += m.cost.MemPenalty
 	return m.stack[addr], nil
 }
@@ -522,7 +422,9 @@ func (m *Machine) loadSlot(addr int, kind SlotKind) (prim.Value, error) {
 func (m *Machine) storeSlot(addr int, v prim.Value, kind SlotKind) {
 	m.ensureStack(addr + 1)
 	m.Counters.StackWrites++
-	m.Counters.WritesByKind[kind]++
+	if m.fine {
+		m.Counters.WritesByKind[kind]++
+	}
 	m.Counters.Cycles += m.cost.MemPenalty
 	m.stack[addr] = v
 }
@@ -543,9 +445,10 @@ func (m *Machine) actTopProc() int {
 	return int(m.acts[len(m.acts)-1].proc)
 }
 
-// classifyTop records the finishing activation in the Table 2 breakdown.
+// classifyTop records the finishing activation in the Table 2 breakdown
+// (skipped entirely under CountEssential — it only feeds counters).
 func (m *Machine) classifyTop() {
-	if len(m.acts) == 0 {
+	if !m.fine || len(m.acts) == 0 {
 		return
 	}
 	top := m.acts[len(m.acts)-1]

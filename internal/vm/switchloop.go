@@ -1,0 +1,212 @@
+package vm
+
+import "repro/internal/prim"
+
+// This file is the reference execution engine: the original
+// decode-every-step switch loop, selected with Machine.Engine =
+// EngineSwitch. It defines the machine's observable semantics; the
+// pre-decoded threaded engine (exec.go, the default) must match it
+// exactly — same results, same errors, byte-for-byte identical
+// counters — which TestEngineEquivalence enforces over the full
+// benchmark suite and the negative corpus. Change semantics here first,
+// then make the threaded engine agree.
+
+func (m *Machine) loop() (prim.Value, error) {
+	c := &m.Counters
+	for {
+		if m.pc < 0 || m.pc >= len(m.prog.Code) {
+			return nil, m.errf("pc out of range")
+		}
+		in := &m.prog.Code[m.pc]
+		c.Instructions++
+		c.Cycles++
+		if m.MaxSteps > 0 && c.Instructions > m.MaxSteps {
+			return nil, &FuelError{Budget: m.MaxSteps, PC: m.pc}
+		}
+		switch in.Op {
+		case OpHalt:
+			v, err := m.readReg(RegRV)
+			if err != nil {
+				return nil, err
+			}
+			return v, nil
+
+		case OpEntry:
+			if m.argc != in.A {
+				name := m.prog.Procs[m.actTopProc()].Name
+				return nil, m.errf("%s expects %d arguments, got %d", name, in.A, m.argc)
+			}
+			m.ensureStack(m.fp + in.B + 16)
+			m.pc++
+
+		case OpMove:
+			v, err := m.readReg(in.B)
+			if err != nil {
+				return nil, err
+			}
+			m.writeReg(in.A, v)
+			m.pc++
+
+		case OpLoadConst:
+			v := m.prog.Consts[in.B]
+			if m.prog.ConstMutable[in.B] {
+				v = copyConst(v)
+			}
+			m.writeReg(in.A, v)
+			m.pc++
+
+		case OpLoadGlobal:
+			v := m.globals[in.B]
+			if v == nil {
+				return nil, m.errf("unbound global %s", m.prog.GlobalNames[in.B])
+			}
+			m.writeReg(in.A, v)
+			m.pc++
+
+		case OpStoreGlobal:
+			v, err := m.readReg(in.A)
+			if err != nil {
+				return nil, err
+			}
+			m.globals[in.B] = v
+			m.pc++
+
+		case OpLoadSlot:
+			v, err := m.loadSlot(m.fp+in.B, in.Kind)
+			if err != nil {
+				return nil, err
+			}
+			m.regs[in.A] = v
+			m.readyAt[in.A] = c.Cycles + m.cost.LoadLatency
+			m.pc++
+
+		case OpStoreSlot:
+			v, err := m.readReg(in.A)
+			if err != nil {
+				return nil, err
+			}
+			m.storeSlot(m.fp+in.B, v, in.Kind)
+			m.pc++
+
+		case OpStoreOut:
+			v, err := m.readReg(in.A)
+			if err != nil {
+				return nil, err
+			}
+			m.storeSlot(m.fp+in.C+in.B, v, in.Kind)
+			m.pc++
+
+		case OpPrim:
+			if err := m.applyPrim(in.A, m.prog.Prims[in.B], in.Regs); err != nil {
+				return nil, err
+			}
+			m.pc++
+
+		case OpClosure:
+			free := make([]prim.Value, len(in.Regs))
+			for i, r := range in.Regs {
+				v, err := m.readOperand(r)
+				if err != nil {
+					return nil, err
+				}
+				free[i] = v
+			}
+			m.writeReg(in.A, &Closure{Proc: in.B, Free: free})
+			m.pc++
+
+		case OpClosurePatch:
+			cv, err := m.readReg(in.A)
+			if err != nil {
+				return nil, err
+			}
+			cl, ok := cv.(*Closure)
+			if !ok {
+				return nil, m.errf("closure-patch of non-closure")
+			}
+			v, err := m.readReg(in.C)
+			if err != nil {
+				return nil, err
+			}
+			cl.Free[in.B] = v
+			m.pc++
+
+		case OpFreeRef:
+			cpv, err := m.readReg(RegCP)
+			if err != nil {
+				return nil, err
+			}
+			cl, ok := cpv.(*Closure)
+			if !ok {
+				return nil, m.errf("free-ref with non-closure cp")
+			}
+			m.writeReg(in.A, cl.Free[in.B])
+			m.pc++
+
+		case OpJump:
+			m.pc = in.A
+
+		case OpBranchFalse:
+			v, err := m.readReg(in.A)
+			if err != nil {
+				return nil, err
+			}
+			taken := !prim.Truthy(v)
+			if m.fine {
+				c.Branches++
+				if in.Predict != 0 {
+					c.PredictedBranches++
+					predictedTaken := in.Predict > 0
+					if taken != predictedTaken {
+						c.Mispredicts++
+						c.Cycles += m.cost.BranchMispredict
+					}
+				}
+			} else if in.Predict != 0 && taken != (in.Predict > 0) {
+				// Counters are off, but the mispredict penalty is part
+				// of the cycle accounting and must still be charged.
+				c.Cycles += m.cost.BranchMispredict
+			}
+			if taken {
+				m.pc = in.B
+			} else {
+				m.pc++
+			}
+
+		case OpCall:
+			if err := m.call(in.A, m.fp+in.B, false); err != nil {
+				return nil, err
+			}
+
+		case OpTailCall:
+			if err := m.call(in.A, m.fp, true); err != nil {
+				return nil, err
+			}
+
+		case OpCallCC:
+			if err := m.callCC(in.B); err != nil {
+				return nil, err
+			}
+
+		case OpReturn:
+			rv, err := m.readReg(RegRet)
+			if err != nil {
+				return nil, err
+			}
+			ra, ok := rv.(RetAddr)
+			if !ok {
+				return nil, m.errf("return with corrupt ret register (%s)", prim.WriteString(rv))
+			}
+			if len(m.acts) == 0 {
+				return nil, m.errf("return with empty activation stack")
+			}
+			m.classifyTop()
+			m.acts = m.acts[:len(m.acts)-1]
+			m.pc = ra.PC
+			m.fp = ra.FP
+			m.poisonAfterCall()
+
+		default:
+			return nil, m.errf("unknown opcode %d", in.Op)
+		}
+	}
+}

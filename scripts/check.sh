@@ -21,6 +21,14 @@ go build ./...
 echo "== go vet =="
 go vet ./...
 
+echo "== package docs =="
+undoc=$(go list -f '{{if not .Doc}}{{.ImportPath}}{{end}}' ./...)
+if [ -n "$undoc" ]; then
+    echo "packages missing a package doc comment:" >&2
+    echo "$undoc" >&2
+    exit 1
+fi
+
 echo "== go test =="
 go test $short ./...
 
