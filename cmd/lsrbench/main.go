@@ -47,9 +47,10 @@ func main() {
 		all         = flag.Bool("all", false, "run everything")
 		suite       = flag.String("suite", "full", "benchmark subset: full or quick")
 
-		perfJSON      = flag.String("perfjson", "", "measure wall/cycle/alloc per program and write a BENCH_*.json report to this file")
-		perfCompare   = flag.String("perfcompare", "", "measure and gate against the committed BENCH_*.json baseline at this path")
-		perfThreshold = flag.Float64("perfthreshold", 0.15, "allowed wall-time geomean regression for -perfcompare")
+		perfJSON       = flag.String("perfjson", "", "measure wall/cycle/alloc per program and write a BENCH_*.json report to this file")
+		perfCompare    = flag.String("perfcompare", "", "measure and gate against the committed BENCH_*.json baseline at this path")
+		perfThreshold  = flag.Float64("perfthreshold", 0.15, "allowed wall-time geomean regression for -perfcompare")
+		allocThreshold = flag.Float64("allocthreshold", 0.10, "allowed per-program allocs_per_op growth for -perfcompare")
 	)
 	flag.Parse()
 
@@ -186,7 +187,7 @@ func main() {
 
 	if *perfJSON != "" || *perfCompare != "" {
 		ran = true
-		if err := runPerf(progs, *suite, *perfJSON, *perfCompare, *perfThreshold); err != nil {
+		if err := runPerf(progs, *suite, *perfJSON, *perfCompare, *perfThreshold, *allocThreshold); err != nil {
 			fail(err)
 		}
 	}
@@ -199,7 +200,7 @@ func main() {
 
 // runPerf measures the perf report once and then writes it, gates it
 // against a committed baseline, or both.
-func runPerf(progs []*bench.Program, suite, jsonPath, comparePath string, threshold float64) error {
+func runPerf(progs []*bench.Program, suite, jsonPath, comparePath string, wallThreshold, allocThreshold float64) error {
 	rep, err := bench.MeasurePerf(progs, suite)
 	if err != nil {
 		return err
@@ -227,10 +228,11 @@ func runPerf(progs []*bench.Program, suite, jsonPath, comparePath string, thresh
 		if err != nil {
 			return err
 		}
-		if err := bench.ComparePerf(base, rep, threshold); err != nil {
+		if err := bench.ComparePerf(base, rep, wallThreshold, allocThreshold); err != nil {
 			return err
 		}
-		fmt.Printf("perf gate passed against %s (threshold %.0f%%)\n", comparePath, threshold*100)
+		fmt.Printf("perf gate passed against %s (wall threshold %.0f%%, alloc threshold %.0f%%)\n",
+			comparePath, wallThreshold*100, allocThreshold*100)
 	}
 	return nil
 }

@@ -117,20 +117,26 @@ func ReadPerfReport(data []byte) (*PerfReport, error) {
 }
 
 // ComparePerf gates a candidate report against a committed baseline.
-// Two checks:
+// Three checks:
 //
 //   - sim_cycles must match exactly per program. Simulated cycles are
 //     deterministic, so any difference is a real semantic change to the
 //     compiler or cost model and must be an intentional, reviewed
 //     baseline update.
 //   - the geometric mean of the per-program wall-time ratios
-//     (candidate/baseline) must not exceed 1+threshold. The geomean
+//     (candidate/baseline) must not exceed 1+wallThreshold. The geomean
 //     smooths per-program timer noise; threshold 0.15 catches real
 //     regressions while tolerating CI jitter.
+//   - allocs_per_op must not grow by more than allocThreshold on any
+//     single entry. Allocation counts are near-deterministic (no timer
+//     noise), so the gate is per-entry rather than a geomean: one
+//     program picking up an allocation in its inner loop is exactly the
+//     regression the gate exists to catch, and a geomean would let the
+//     other programs dilute it. A baseline of zero allocations must
+//     stay zero.
 //
-// Allocation counts are reported but not gated (they feed the wall time
-// anyway). Returns a descriptive error on failure, nil on pass.
-func ComparePerf(base, cur *PerfReport, threshold float64) error {
+// Returns a descriptive error on failure, nil on pass.
+func ComparePerf(base, cur *PerfReport, wallThreshold, allocThreshold float64) error {
 	baseBy := map[string]PerfEntry{}
 	for _, e := range base.Entries {
 		baseBy[e.Program+"/"+e.Engine] = e
@@ -151,13 +157,18 @@ func ComparePerf(base, cur *PerfReport, threshold float64) error {
 			logRatioSum += math.Log(float64(e.WallNsPerOp) / float64(b.WallNsPerOp))
 			n++
 		}
+		if float64(e.AllocsPerOp) > float64(b.AllocsPerOp)*(1+allocThreshold) {
+			problems = append(problems, fmt.Sprintf(
+				"%s: allocs_per_op %d, baseline %d (exceeds %.0f%% growth; fix the allocation or update the baseline intentionally)",
+				e.Program, e.AllocsPerOp, b.AllocsPerOp, allocThreshold*100))
+		}
 	}
 	if n > 0 {
 		geomean := math.Exp(logRatioSum / float64(n))
-		if geomean > 1+threshold {
+		if geomean > 1+wallThreshold {
 			problems = append(problems, fmt.Sprintf(
 				"wall time geomean ratio %.3f exceeds %.3f (threshold %.0f%%)",
-				geomean, 1+threshold, threshold*100))
+				geomean, 1+wallThreshold, wallThreshold*100))
 		}
 	}
 	if len(problems) > 0 {

@@ -1,9 +1,12 @@
 // Package findings defines the structured finding format shared by the
-// static passes that run over compiled VM code: the translation
-// validator (internal/verify) and the optimality analyzer
-// (internal/analysis). Both report the same shape — a kind, the
-// offending pc, the register/slot involved and a shortest static path
-// witness — so tooling (lsrc -json, CI gates) consumes one format.
+// repository's static passes: the translation validator
+// (internal/verify) and the optimality analyzer (internal/analysis),
+// which run over compiled VM code, and the source linter
+// (internal/srclint), which runs over the repository's own Go source.
+// All report the same shape — a kind plus the location the finding
+// anchors to (pc/register/slot for VM-code passes, file/line for
+// source passes) — so tooling (lsrc -json, lsrvet -json, CI gates)
+// consumes one format.
 package findings
 
 import (
@@ -11,17 +14,22 @@ import (
 	"io"
 )
 
-// Finding is one statically detected fact about compiled code: either
-// an invariant violation (tool "verify") or detected waste
-// (tool "lint").
+// Finding is one statically detected fact: an invariant violation in
+// compiled code (tool "verify"), detected waste (tool "lint"), or a
+// source-level contract violation (tool "srclint").
 type Finding struct {
-	// Tool identifies the producing pass: "verify" or "lint".
+	// Tool identifies the producing pass: "verify", "lint" or
+	// "srclint".
 	Tool string `json:"tool"`
 	// Kind is the pass-specific finding kind (e.g. "missing-restore",
 	// "redundant-save").
 	Kind string `json:"kind"`
 	// Proc names the enclosing procedure ("" if none).
 	Proc string `json:"proc,omitempty"`
+	// File and Line anchor source-level findings (tool "srclint") to
+	// repository source; VM-code findings leave them zero.
+	File string `json:"file,omitempty"`
+	Line int    `json:"line,omitempty"`
 	// PC is the offending instruction's address (-1 if none).
 	PC int `json:"pc"`
 	// Instr is the disassembled instruction at PC ("" if none).

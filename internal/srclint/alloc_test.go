@@ -1,0 +1,183 @@
+package srclint
+
+import (
+	"strings"
+	"testing"
+)
+
+// sampleM is captured-style `go build -gcflags=-m` output: inline
+// decisions (ignored), escapes in scope, an escape in an out-of-scope
+// file, and a message that repeats at two positions.
+const sampleM = `# repro/internal/vm
+internal/vm/exec.go:10:6: can inline (*Machine).step
+internal/vm/exec.go:42:14: &RuntimeError{...} escapes to heap
+internal/vm/exec.go:97:14: &RuntimeError{...} escapes to heap
+internal/vm/machine.go:12:9: new(int) escapes to heap
+internal/vm/machine.go:30:2: moved to heap: scratch
+internal/vm/other.go:5:9: &Thing{...} escapes to heap
+internal/vm/exec.go:50:3: inlining call to tick
+`
+
+func allocCfg() AllocConfig {
+	return AllocConfig{
+		Package:     "./internal/vm",
+		Files:       []string{"exec.go", "machine.go"},
+		RequireNote: []string{"machine.go"},
+	}
+}
+
+func TestParseEscapes(t *testing.T) {
+	sites := ParseEscapes(sampleM, allocCfg().Files)
+	want := []AllocSite{
+		{File: "internal/vm/exec.go", Message: "&RuntimeError{...} escapes to heap", Count: 2},
+		{File: "internal/vm/machine.go", Message: "moved to heap: scratch", Count: 1},
+		{File: "internal/vm/machine.go", Message: "new(int) escapes to heap", Count: 1},
+	}
+	if len(sites) != len(want) {
+		t.Fatalf("got %d sites, want %d: %+v", len(sites), len(want), sites)
+	}
+	for i := range want {
+		if sites[i].File != want[i].File || sites[i].Message != want[i].Message || sites[i].Count != want[i].Count {
+			t.Errorf("site %d = %+v, want %+v", i, sites[i], want[i])
+		}
+	}
+	if sites[0].line != 42 {
+		t.Errorf("first occurrence line = %d, want 42", sites[0].line)
+	}
+}
+
+func allocBase(t *testing.T) *AllocBaseline {
+	t.Helper()
+	sites := ParseEscapes(sampleM, allocCfg().Files)
+	b := NewBaseline(allocCfg(), "go1.24.0", sites, nil)
+	// Give the RequireNote file entries their justifications.
+	for i := range b.Sites {
+		if strings.HasSuffix(b.Sites[i].File, "machine.go") {
+			b.Sites[i].Note = "test justification"
+		}
+	}
+	return b
+}
+
+func TestDiffAllocClean(t *testing.T) {
+	b := allocBase(t)
+	fs, stale, err := DiffAlloc(b, ParseEscapes(sampleM, allocCfg().Files), "go1.24.3", allocCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 || len(stale) != 0 {
+		t.Fatalf("expected clean diff, got findings %+v stale %v", fs, stale)
+	}
+}
+
+func TestDiffAllocNewSite(t *testing.T) {
+	b := allocBase(t)
+	cur := sampleM + "internal/vm/exec.go:120:9: make([]byte, n) escapes to heap\n"
+	fs, _, err := DiffAlloc(b, ParseEscapes(cur, allocCfg().Files), "go1.24.0", allocCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 || fs[0].Kind != "new-heap-escape" {
+		t.Fatalf("expected one new-heap-escape, got %+v", fs)
+	}
+	if fs[0].File != "internal/vm/exec.go" || fs[0].Line != 120 {
+		t.Errorf("finding anchored at %s:%d, want internal/vm/exec.go:120", fs[0].File, fs[0].Line)
+	}
+}
+
+func TestDiffAllocGrowth(t *testing.T) {
+	b := allocBase(t)
+	cur := sampleM + "internal/vm/exec.go:200:14: &RuntimeError{...} escapes to heap\n"
+	fs, _, err := DiffAlloc(b, ParseEscapes(cur, allocCfg().Files), "go1.24.0", allocCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 || fs[0].Kind != "heap-escape-growth" {
+		t.Fatalf("expected one heap-escape-growth, got %+v", fs)
+	}
+	if !strings.Contains(fs[0].Msg, "grew from 2 to 3") {
+		t.Errorf("growth message = %q", fs[0].Msg)
+	}
+}
+
+func TestDiffAllocUnjustified(t *testing.T) {
+	sites := ParseEscapes(sampleM, allocCfg().Files)
+	b := NewBaseline(allocCfg(), "go1.24.0", sites, nil) // no notes at all
+	fs, _, err := DiffAlloc(b, sites, "go1.24.0", allocCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// machine.go has two entries, both noteless; exec.go needs none.
+	var kinds []string
+	for _, f := range fs {
+		kinds = append(kinds, f.Kind)
+	}
+	if len(fs) != 2 || fs[0].Kind != "unjustified-escape" || fs[1].Kind != "unjustified-escape" {
+		t.Fatalf("expected two unjustified-escape findings, got %v", kinds)
+	}
+}
+
+func TestDiffAllocStaleIsWarning(t *testing.T) {
+	b := allocBase(t)
+	cur := strings.ReplaceAll(sampleM, "internal/vm/machine.go:12:9: new(int) escapes to heap\n", "")
+	fs, stale, err := DiffAlloc(b, ParseEscapes(cur, allocCfg().Files), "go1.24.0", allocCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Fatalf("improvement must not produce findings, got %+v", fs)
+	}
+	if len(stale) != 1 || !strings.Contains(stale[0], "new(int) escapes to heap") {
+		t.Fatalf("expected one stale warning, got %v", stale)
+	}
+}
+
+func TestDiffAllocToolchainMismatch(t *testing.T) {
+	b := allocBase(t)
+	_, _, err := DiffAlloc(b, nil, "go1.25.1", allocCfg())
+	if err == nil || !strings.Contains(err.Error(), "toolchain") {
+		t.Fatalf("expected toolchain mismatch error, got %v", err)
+	}
+}
+
+func TestDiffAllocSchemaMismatch(t *testing.T) {
+	b := allocBase(t)
+	b.Schema = "lsr/alloc-baseline/v0"
+	_, _, err := DiffAlloc(b, nil, "go1.24.0", allocCfg())
+	if err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("expected schema mismatch error, got %v", err)
+	}
+}
+
+func TestNewBaselinePreservesNotes(t *testing.T) {
+	old := allocBase(t)
+	fresh := NewBaseline(allocCfg(), "go1.24.9", ParseEscapes(sampleM, allocCfg().Files), old)
+	if fresh.GoVersion != "go1.24.9" {
+		t.Errorf("GoVersion = %q", fresh.GoVersion)
+	}
+	for _, s := range fresh.Sites {
+		if strings.HasSuffix(s.File, "machine.go") && s.Note != "test justification" {
+			t.Errorf("note lost on refresh: %+v", s)
+		}
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	b := allocBase(t)
+	var sb strings.Builder
+	if err := b.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBaseline([]byte(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != b.Schema || got.GoVersion != b.GoVersion || len(got.Sites) != len(b.Sites) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	for i := range b.Sites {
+		if got.Sites[i] != b.Sites[i] {
+			t.Errorf("site %d = %+v, want %+v", i, got.Sites[i], b.Sites[i])
+		}
+	}
+}

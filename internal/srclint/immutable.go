@@ -1,0 +1,187 @@
+package srclint
+
+// The program-immutability analyzer: a go/types proof that no shipped
+// function outside an allowlisted constructor/decode set writes to
+// vm.Program fields or the elements of their backing slices. The VM's
+// concurrency contract (DESIGN.md §11, vm/concurrent_test.go) is
+// "Program immutable after construction, Machine per-run": the service
+// cache hands one *Program to many concurrent Machines, and the
+// threaded engine's decode cache is built once and shared, so a single
+// post-construction write is a data race and a cache-coherence bug.
+// Until now only the race-detector tests spot-checked this; here it is
+// enforced over every assignment in the module.
+//
+// What it proves: no assignment statement, ++/--, or copy() target in
+// any non-test function of the module has a left-hand side that reaches
+// a field of the target struct type (through any chain of selectors,
+// indexes, and dereferences), except inside allowlisted functions.
+//
+// What it deliberately cannot prove: writes through an alias created
+// before the check (a Program field slice stored into a local or passed
+// to a callee and mutated there), writes via unsafe or reflection, and
+// mutation of values *referenced by* fields (e.g. the prim.Def pointers
+// in Prims). Aliased-slice mutation in particular is out of scope —
+// catching it needs escape/alias analysis, not syntax — so the race
+// tests remain the backstop for that class.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"repro/internal/findings"
+)
+
+// ImmutabilityConfig names the protected type and its allowed writers.
+type ImmutabilityConfig struct {
+	// Type is the protected struct type, fully qualified
+	// ("repro/internal/vm.Program").
+	Type string
+	// Allow lists functions permitted to write, by types.Func.FullName
+	// ("(*repro/internal/vm.Program).engine",
+	// "repro/internal/codegen.Compile"). A closure inherits the
+	// enclosing declaration's name.
+	Allow []string
+}
+
+// DefaultImmutabilityConfig protects vm.Program. The only allowed
+// writer is the engine() decode-cache initializer, which is guarded by
+// sync.Once and therefore safe under the sharing contract. The codegen
+// constructor builds the Program in one composite literal and never
+// writes through it afterwards, so it needs no entry.
+func DefaultImmutabilityConfig() ImmutabilityConfig {
+	return ImmutabilityConfig{
+		Type:  "repro/internal/vm.Program",
+		Allow: []string{"(*repro/internal/vm.Program).engine"},
+	}
+}
+
+// CheckImmutability proves the no-writes property over the given
+// packages (normally every package in the module).
+func CheckImmutability(root string, pkgs []*Pkg, cfg ImmutabilityConfig) []findings.Finding {
+	allowed := map[string]bool{}
+	for _, name := range cfg.Allow {
+		allowed[name] = true
+	}
+	var fs []findings.Finding
+	for _, pkg := range pkgs {
+		c := &immutCheck{root: root, pkg: pkg, cfg: cfg, allowed: allowed}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				c.decl(decl)
+			}
+		}
+		fs = append(fs, c.found...)
+	}
+	return fs
+}
+
+type immutCheck struct {
+	root    string
+	pkg     *Pkg
+	cfg     ImmutabilityConfig
+	allowed map[string]bool
+	// fn is the enclosing declaration's full name during traversal.
+	fn    string
+	found []findings.Finding
+}
+
+func (c *immutCheck) decl(decl ast.Decl) {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if d.Body == nil {
+			return
+		}
+		name := c.pkg.Path + ".?"
+		if obj, ok := c.pkg.Info.Defs[d.Name].(*types.Func); ok {
+			name = obj.FullName()
+		}
+		c.fn = name
+		ast.Inspect(d.Body, c.visit)
+	case *ast.GenDecl:
+		// Package-level var initializers can write through composite
+		// expressions; attribute them to the package's init.
+		c.fn = c.pkg.Path + ".init"
+		ast.Inspect(d, c.visit)
+	}
+}
+
+func (c *immutCheck) visit(n ast.Node) bool {
+	switch st := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range st.Lhs {
+			c.checkWrite(lhs, "assignment")
+		}
+	case *ast.IncDecStmt:
+		c.checkWrite(st.X, "increment")
+	case *ast.CallExpr:
+		// copy(dst, ...) writes through dst's backing array.
+		if id, ok := st.Fun.(*ast.Ident); ok && id.Name == "copy" && len(st.Args) == 2 {
+			if obj, ok := c.pkg.Info.Uses[id].(*types.Builtin); ok && obj.Name() == "copy" {
+				c.checkWrite(st.Args[0], "copy into")
+			}
+		}
+	}
+	return true
+}
+
+// checkWrite reports lhs when it reaches a field of the protected type:
+// it walks down through parens, indexes, slices, and dereferences, and
+// flags the first selector whose base is the protected struct.
+func (c *immutCheck) checkWrite(lhs ast.Expr, how string) {
+	for {
+		switch e := lhs.(type) {
+		case *ast.ParenExpr:
+			lhs = e.X
+		case *ast.IndexExpr:
+			lhs = e.X
+		case *ast.SliceExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			lhs = e.X
+		case *ast.SelectorExpr:
+			if c.isProtected(e.X) {
+				if !c.allowed[c.fn] {
+					c.report(e, how, e.Sel.Name)
+				}
+				return
+			}
+			lhs = e.X
+		default:
+			return
+		}
+	}
+}
+
+// isProtected reports whether expr's type is the protected struct type
+// (or a pointer to it).
+func (c *immutCheck) isProtected(expr ast.Expr) bool {
+	tv, ok := c.pkg.Info.Types[expr]
+	if !ok {
+		return false
+	}
+	t := types.Unalias(tv.Type)
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path()+"."+obj.Name() == c.cfg.Type
+}
+
+func (c *immutCheck) report(sel *ast.SelectorExpr, how, field string) {
+	file, line := position(c.root, c.pkg.Fset, sel.Pos())
+	c.found = append(c.found, findings.Finding{
+		Tool: "srclint", Kind: "program-mutation",
+		File: file, Line: line,
+		PC: -1, Reg: -1, Slot: -1, CallPC: -1,
+		Msg: fmt.Sprintf("%s %s field %s in %s: %s is immutable after construction (shared by concurrent machines and the decode cache); construct a fresh value or allowlist the function with a justification",
+			how, c.cfg.Type, field, c.fn, c.cfg.Type),
+	})
+}

@@ -1,0 +1,271 @@
+package srclint
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/findings"
+)
+
+// paritySrc is a miniature two-engine VM with every surface the parity
+// analyzer cross-checks, in a consistent (clean) state. The violation
+// tests below each break exactly one invariant by string surgery.
+const paritySrc = `package vmtest
+
+type Op byte
+type xcode byte
+
+const (
+	OpHalt Op = iota
+	OpAdd
+	OpJump
+)
+
+const (
+	xUnknown xcode = iota
+	xHalt
+	xAdd
+	xJump
+	xPCar
+	xPCons
+	xPredBr
+)
+
+type Machine struct {
+	Instructions int
+	Cycles       int
+}
+
+type dcode struct{ op xcode }
+
+type handler func(m *Machine, d *dcode) error
+
+func (m *Machine) tick() { m.Cycles++ }
+
+func loop(m *Machine, op Op) {
+	switch op {
+	case OpHalt:
+	case OpAdd:
+	case OpJump:
+	}
+}
+
+func decodeOne(op Op) xcode {
+	switch op {
+	case OpHalt:
+		return xHalt
+	case OpAdd:
+		return xAdd
+	case OpJump:
+		return xJump
+	}
+	return xUnknown
+}
+
+func runThreaded(m *Machine, d *dcode) {
+	switch d.op {
+	case xHalt:
+		m.tick()
+	case xAdd:
+		m.tick()
+	case xJump:
+		m.tick()
+	case xPCar:
+		m.tick()
+	case xPCons:
+		m.tick()
+	case xPredBr:
+		m.tick()
+		m.Instructions++
+		m.Cycles++
+	}
+}
+
+func specPrim(name string) xcode {
+	switch name {
+	case "car":
+		return xPCar
+	case "cons":
+		return xPCons
+	}
+	return xcode(0)
+}
+
+func specCompute1(x xcode) {
+	switch x {
+	case xPCar:
+	}
+}
+
+func specCompute2(x xcode) {
+	switch x {
+	case xPCons:
+	}
+}
+
+func fusible(op Op) bool {
+	switch op {
+	case OpAdd:
+		return true
+	}
+	return false
+}
+
+func fuse(op Op, h handler) handler {
+	switch op {
+	case OpAdd:
+		return h
+	}
+	return nil
+}
+
+func runHandler(m *Machine, d *dcode) error {
+	m.tick()
+	return nil
+}
+`
+
+func parityCfg() ParityConfig {
+	return ParityConfig{
+		OpType:        "Op",
+		XType:         "xcode",
+		SwitchFunc:    "loop",
+		DecodeFunc:    "decodeOne",
+		ThreadedFunc:  "runThreaded",
+		DefaultX:      []string{"xUnknown"},
+		HandlerType:   "handler",
+		TickFunc:      "tick",
+		SpecFunc:      "specPrim",
+		SpecCompute1:  "specCompute1",
+		SpecCompute2:  "specCompute2",
+		Spec2First:    "xPCons",
+		FusibleFunc:   "fusible",
+		FuseFunc:      "fuse",
+		FusedArms:     []string{"xPredBr"},
+		CounterFields: []string{"Instructions", "Cycles"},
+	}
+}
+
+func checkParitySrc(t *testing.T, src string) []findings.Finding {
+	t.Helper()
+	pkg, err := CheckSource("vmtest", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := CheckParity("", pkg, parityCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+// mutate replaces old with new exactly once, failing the test if the
+// pattern is absent or ambiguous (which would silently test nothing).
+func mutate(t *testing.T, src, old, new string) string {
+	t.Helper()
+	if n := strings.Count(src, old); n != 1 {
+		t.Fatalf("mutation pattern occurs %d times, want 1: %q", n, old)
+	}
+	return strings.Replace(src, old, new, 1)
+}
+
+func TestParityClean(t *testing.T) {
+	if fs := checkParitySrc(t, paritySrc); len(fs) != 0 {
+		t.Fatalf("clean corpus produced findings: %+v", fs)
+	}
+}
+
+func TestParityViolations(t *testing.T) {
+	cases := []struct {
+		name     string
+		old, new string
+		kind     string
+		msgHas   string
+	}{
+		{
+			name: "missing-switch-case",
+			old:  "\tcase OpJump:\n\t}\n}\n\nfunc decodeOne",
+			new:  "\t}\n}\n\nfunc decodeOne",
+			kind: "missing-switch-case", msgHas: "OpJump",
+		},
+		{
+			name: "missing-decode-case",
+			old:  "\tcase OpJump:\n\t\treturn xJump\n",
+			new:  "",
+			kind: "missing-decode-case", msgHas: "OpJump",
+		},
+		{
+			name: "missing-threaded-arm",
+			old:  "\tcase xJump:\n\t\tm.tick()\n",
+			new:  "",
+			kind: "missing-threaded-arm", msgHas: "xJump",
+		},
+		{
+			name: "spec-table-gap",
+			old:  "func specCompute2(x xcode) {\n\tswitch x {\n\tcase xPCons:\n\t}\n}",
+			new:  "func specCompute2(x xcode) {\n\tswitch x {\n\t}\n}",
+			kind: "spec-table-mismatch", msgHas: "xPCons",
+		},
+		{
+			name: "spec-table-gap-1arg",
+			old:  "func specCompute1(x xcode) {\n\tswitch x {\n\tcase xPCar:\n\t}\n}",
+			new:  "func specCompute1(x xcode) {\n\tswitch x {\n\t}\n}",
+			kind: "spec-table-mismatch", msgHas: "xPCar",
+		},
+		{
+			name: "fusible-without-fuse",
+			old:  "func fuse(op Op, h handler) handler {\n\tswitch op {\n\tcase OpAdd:",
+			new:  "func fuse(op Op, h handler) handler {\n\tswitch op {\n\tcase OpHalt:",
+			kind: "fusion-table-mismatch", msgHas: "OpAdd",
+		},
+		{
+			name: "handler-missing-tick",
+			old:  "func runHandler(m *Machine, d *dcode) error {\n\tm.tick()\n\treturn nil\n}",
+			new:  "func runHandler(m *Machine, d *dcode) error {\n\treturn nil\n}",
+			kind: "handler-missing-tick", msgHas: "runHandler",
+		},
+		{
+			name: "fused-arm-uncounted",
+			old:  "\t\tm.tick()\n\t\tm.Instructions++\n\t\tm.Cycles++\n",
+			new:  "\t\tm.tick()\n\t\tm.Cycles++\n",
+			kind: "fused-arm-uncounted", msgHas: "Instructions",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := checkParitySrc(t, mutate(t, paritySrc, tc.old, tc.new))
+			if len(fs) == 0 {
+				t.Fatalf("violation not detected")
+			}
+			found := false
+			for _, f := range fs {
+				if f.Kind == tc.kind && strings.Contains(f.Msg, tc.msgHas) {
+					found = true
+				} else if f.Kind != tc.kind {
+					t.Errorf("unexpected extra finding %s: %s", f.Kind, f.Msg)
+				}
+			}
+			if !found {
+				t.Fatalf("no %s finding mentioning %q in %+v", tc.kind, tc.msgHas, fs)
+			}
+		})
+	}
+}
+
+// TestParityFuseDeadEntry covers the reverse fusion mismatch: an
+// installer entry the predicate never accepts.
+func TestParityFuseDeadEntry(t *testing.T) {
+	src := mutate(t, paritySrc,
+		"func fusible(op Op) bool {\n\tswitch op {\n\tcase OpAdd:",
+		"func fusible(op Op) bool {\n\tswitch op {\n\tcase OpJump:")
+	fs := checkParitySrc(t, src)
+	var dead bool
+	for _, f := range fs {
+		if f.Kind == "fusion-table-mismatch" && strings.Contains(f.Msg, "dead fusion table entry") {
+			dead = true
+		}
+	}
+	if !dead {
+		t.Fatalf("dead fusion entry not detected: %+v", fs)
+	}
+}

@@ -130,7 +130,7 @@ func (m *Machine) Run() (prim.Value, error) {
 	m.fine = m.Counting == CountFull
 	main := m.prog.Procs[m.prog.MainIndex]
 	m.regs[RegCP] = &Closure{Proc: m.prog.MainIndex}
-	m.regs[RegRet] = RetAddr{PC: 0, FP: 0} // code[0] is halt
+	m.regs[RegRet] = m.retAddr(0, 0) // code[0] is halt; interned like every return point
 	m.pc = main.Entry
 	m.fp = 0
 	m.argc = 0
@@ -476,7 +476,7 @@ func (m *Machine) poisonAfterCall() {
 		return
 	}
 	CallClobbers(m.cfg).ForEach(func(r int) {
-		m.regs[r] = poison{}
+		m.regs[r] = poisonVal
 		m.readyAt[r] = 0
 	})
 }
@@ -496,7 +496,7 @@ func (m *Machine) poisonAtEntry(argc int) {
 		if r >= m.cfg.ArgReg(0) && r < m.cfg.ArgReg(0)+nArgRegs {
 			continue
 		}
-		m.regs[r] = poison{}
+		m.regs[r] = poisonVal
 		m.readyAt[r] = 0
 	}
 }

@@ -50,6 +50,12 @@ func (*Cont) SchemeProcedure() {}
 // restore.
 type poison struct{}
 
+// poisonVal is the shared boxed poison sentinel: poisoning sweeps run
+// per call boundary, so they store one pre-boxed value instead of
+// re-boxing at every register (the sentinel is stateless, so sharing
+// is invisible).
+var poisonVal prim.Value = poison{}
+
 // actEntry tracks one activation for the dynamic call-graph statistics.
 type actEntry struct {
 	proc     int32

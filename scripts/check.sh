@@ -29,6 +29,13 @@ if [ -n "$undoc" ]; then
     exit 1
 fi
 
+echo "== source lint: alloc baseline, Program immutability, engine parity =="
+# lsrvet's alloc analyzer diffs `go build -gcflags=-m` output against
+# ALLOC_BASELINE.json, which records the toolchain it was measured
+# with; it fails fast with instructions if this machine's go MAJOR.MINOR
+# differs (regenerate with `go run ./cmd/lsrvet -write`).
+go run ./cmd/lsrvet
+
 echo "== go test =="
 go test $short ./...
 
