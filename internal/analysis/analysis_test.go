@@ -116,16 +116,16 @@ func TestNaiveShuffleFlagged(t *testing.T) {
 func corpusProgram() *vm.Program {
 	e := 3 // f's entry pc
 	code := []vm.Instr{
-		0: {Op: vm.OpHalt},
-		1: {Op: vm.OpEntry, A: 0, B: 1}, // main (unused stub)
-		2: {Op: vm.OpHalt},
-		3: {Op: vm.OpEntry, A: 1, B: 6},
-		4: {Op: vm.OpStoreSlot, A: vm.RegRet, B: 0, Kind: vm.KindSave},
-		5: {Op: vm.OpStoreSlot, A: 3, B: 2, Kind: vm.KindSave},
-		6: {Op: vm.OpMove, A: 15, B: 3},
-		7: {Op: vm.OpMove, A: 5, B: 6},
-		8: {Op: vm.OpMove, A: 4, B: 15},
-		9: {Op: vm.OpLoadGlobal, A: vm.RegCP, B: 0},
+		0:  {Op: vm.OpHalt},
+		1:  {Op: vm.OpEntry, A: 0, B: 1}, // main (unused stub)
+		2:  {Op: vm.OpHalt},
+		3:  {Op: vm.OpEntry, A: 1, B: 6},
+		4:  {Op: vm.OpStoreSlot, A: vm.RegRet, B: 0, Kind: vm.KindSave},
+		5:  {Op: vm.OpStoreSlot, A: 3, B: 2, Kind: vm.KindSave},
+		6:  {Op: vm.OpMove, A: 15, B: 3},
+		7:  {Op: vm.OpMove, A: 5, B: 6},
+		8:  {Op: vm.OpMove, A: 4, B: 15},
+		9:  {Op: vm.OpLoadGlobal, A: vm.RegCP, B: 0},
 		10: {Op: vm.OpCall, A: 2, B: 6},
 		11: {Op: vm.OpLoadSlot, A: 3, B: 3, Kind: vm.KindRestore},
 		12: {Op: vm.OpLoadSlot, A: 3, B: 3, Kind: vm.KindRestore},

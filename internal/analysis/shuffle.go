@@ -84,7 +84,7 @@ func (pa *procAnalysis) checkShuffle(rec vm.ShuffleRecord) {
 
 	// Pass 1: classify the window and track value provenance.
 	var ops []winOp
-	regTag := map[int]int{}   // register → tag (absent: pre-window source)
+	regTag := map[int]int{}    // register → tag (absent: pre-window source)
 	regWriter := map[int]int{} // register → last writing op index
 	slotTag := map[int]int{}   // temp slot → tag of stored value
 	slotWriter := map[int]int{}

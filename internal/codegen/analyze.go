@@ -5,8 +5,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ir"
+	"repro/internal/prim"
 	"repro/internal/regset"
-	"repro/internal/sexp"
 )
 
 // analyzer is pass 1 of §3.1: a single bottom-up walk per procedure that
@@ -95,9 +95,9 @@ func (a *analyzer) walk(e ir.Expr, after flow) (flow, synth) {
 	switch t := e.(type) {
 	case *ir.Const:
 		switch t.Value {
-		case sexp.Boolean(true):
+		case prim.True:
 			return after, synth{sets: core.TrueSets(a.r)}
-		case sexp.Boolean(false):
+		case prim.False:
 			return after, synth{sets: core.FalseSets(a.r)}
 		}
 		return after, synth{sets: core.LeafSets()}

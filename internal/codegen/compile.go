@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/ir"
 	"repro/internal/prim"
-	"repro/internal/sexp"
 	"repro/internal/vm"
 )
 
@@ -124,19 +123,18 @@ func (cg *codegen) primIndex(d *prim.Def) int {
 	return i
 }
 
+// comparableConst reports whether v can key the dedup map: everything
+// except pairs and vectors, which are mutable (each quote evaluation
+// must yield fresh structure, so sharing a pool slot is fine but the
+// Value contains pointers that defeat by-value dedup anyway).
 func comparableConst(v prim.Value) bool {
-	switch v.(type) {
-	case sexp.Fixnum, sexp.Flonum, sexp.Boolean, sexp.Char, sexp.Symbol, sexp.Str, sexp.Empty:
-		return true
-	}
-	return false
+	return !isMutableConst(v)
 }
 
 func isMutableConst(v prim.Value) bool {
-	switch t := v.(type) {
-	case *sexp.Pair, *sexp.Vector:
-		_ = t
+	if _, ok := v.Pair(); ok {
 		return true
 	}
-	return false
+	_, ok := v.Vector()
+	return ok
 }

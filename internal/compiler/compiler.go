@@ -89,7 +89,7 @@ const DefaultFuel = 1_000_000_000
 func Run(src string, opts Options, out io.Writer) (prim.Value, *vm.Counters, error) {
 	c, err := Compile(src, opts)
 	if err != nil {
-		return nil, nil, err
+		return prim.Value{}, nil, err
 	}
 	m := vm.New(c.Program, out)
 	m.MaxSteps = DefaultFuel
@@ -102,7 +102,7 @@ func Run(src string, opts Options, out io.Writer) (prim.Value, *vm.Counters, err
 func RunValidated(src string, opts Options, out io.Writer) (prim.Value, *vm.Counters, error) {
 	c, err := Compile(src, opts)
 	if err != nil {
-		return nil, nil, err
+		return prim.Value{}, nil, err
 	}
 	m := vm.New(c.Program, out)
 	m.MaxSteps = DefaultFuel
@@ -120,7 +120,7 @@ func Interpret(src string, noPrelude bool, out io.Writer) (prim.Value, error) {
 	}
 	prog, err := ast.ParseString(full)
 	if err != nil {
-		return nil, err
+		return prim.Value{}, err
 	}
 	in := interp.New(out)
 	in.MaxSteps = 500_000_000

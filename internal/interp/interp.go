@@ -91,7 +91,7 @@ func New(out io.Writer) *Interp {
 		ctx:     &prim.Ctx{Out: out},
 	}
 	for _, d := range prim.All() {
-		v := prim.Value(&PrimProcedure{Def: d})
+		v := prim.ObjV(&PrimProcedure{Def: d})
 		cell := new(prim.Value)
 		*cell = v
 		in.globals[d.Name] = cell
@@ -105,7 +105,7 @@ func (in *Interp) RunProgram(p *ast.Program) (prim.Value, error) {
 	for _, d := range p.Defs {
 		v, err := in.Eval(d.Rhs, nil)
 		if err != nil {
-			return nil, err
+			return prim.Value{}, err
 		}
 		cell := new(prim.Value)
 		*cell = v
@@ -134,7 +134,7 @@ func (in *Interp) eval(e ast.Expr, env *Env) (prim.Value, error) {
 	for {
 		in.Steps++
 		if in.MaxSteps > 0 && in.Steps > in.MaxSteps {
-			return nil, fmt.Errorf("interp: step budget exceeded")
+			return prim.Value{}, fmt.Errorf("interp: step budget exceeded")
 		}
 		switch n := e.(type) {
 		case *ast.Const:
@@ -142,19 +142,19 @@ func (in *Interp) eval(e ast.Expr, env *Env) (prim.Value, error) {
 		case *ast.Ref:
 			cell, ok := env.lookup(n.Var)
 			if !ok {
-				return nil, fmt.Errorf("interp: unbound variable %s", n.Var)
+				return prim.Value{}, fmt.Errorf("interp: unbound variable %s", n.Var)
 			}
 			return *cell, nil
 		case *ast.GlobalRef:
 			cell, ok := in.globals[n.Name]
 			if !ok {
-				return nil, fmt.Errorf("interp: unbound global %s", n.Name)
+				return prim.Value{}, fmt.Errorf("interp: unbound global %s", n.Name)
 			}
 			return *cell, nil
 		case *ast.If:
 			t, err := in.eval(n.Test, env)
 			if err != nil {
-				return nil, err
+				return prim.Value{}, err
 			}
 			if prim.Truthy(t) {
 				e = n.Then
@@ -164,18 +164,18 @@ func (in *Interp) eval(e ast.Expr, env *Env) (prim.Value, error) {
 		case *ast.Begin:
 			for _, x := range n.Exprs[:len(n.Exprs)-1] {
 				if _, err := in.eval(x, env); err != nil {
-					return nil, err
+					return prim.Value{}, err
 				}
 			}
 			e = n.Exprs[len(n.Exprs)-1]
 		case *ast.Lambda:
-			return &Closure{Lam: n, Env: env}, nil
+			return prim.ObjV(&Closure{Lam: n, Env: env}), nil
 		case *ast.Let:
 			inner := NewEnv(env)
 			for i, init := range n.Inits {
 				v, err := in.eval(init, env)
 				if err != nil {
-					return nil, err
+					return prim.Value{}, err
 				}
 				inner.bind(n.Vars[i], v)
 			}
@@ -188,7 +188,7 @@ func (in *Interp) eval(e ast.Expr, env *Env) (prim.Value, error) {
 			for i, init := range n.Inits {
 				v, err := in.eval(init, inner)
 				if err != nil {
-					return nil, err
+					return prim.Value{}, err
 				}
 				*inner.vars[n.Vars[i]] = v
 			}
@@ -196,18 +196,18 @@ func (in *Interp) eval(e ast.Expr, env *Env) (prim.Value, error) {
 		case *ast.Set:
 			v, err := in.eval(n.Rhs, env)
 			if err != nil {
-				return nil, err
+				return prim.Value{}, err
 			}
 			cell, ok := env.lookup(n.Var)
 			if !ok {
-				return nil, fmt.Errorf("interp: unbound variable %s", n.Var)
+				return prim.Value{}, fmt.Errorf("interp: unbound variable %s", n.Var)
 			}
 			*cell = v
 			return prim.Unspecified, nil
 		case *ast.GlobalSet:
 			v, err := in.eval(n.Rhs, env)
 			if err != nil {
-				return nil, err
+				return prim.Value{}, err
 			}
 			cell, ok := in.globals[n.Name]
 			if !ok {
@@ -225,18 +225,18 @@ func (in *Interp) eval(e ast.Expr, env *Env) (prim.Value, error) {
 			}
 			fn, err := in.eval(n.Fn, env)
 			if err != nil {
-				return nil, err
+				return prim.Value{}, err
 			}
 			args := make([]prim.Value, len(n.Args))
 			for i, a := range n.Args {
 				if args[i], err = in.eval(a, env); err != nil {
-					return nil, err
+					return prim.Value{}, err
 				}
 			}
-			switch p := fn.(type) {
+			switch p := fn.Heap().(type) {
 			case *Closure:
 				if len(args) != len(p.Lam.Params) {
-					return nil, fmt.Errorf("interp: %s expects %d arguments, got %d",
+					return prim.Value{}, fmt.Errorf("interp: %s expects %d arguments, got %d",
 						p.Lam.Name, len(p.Lam.Params), len(args))
 				}
 				inner := NewEnv(p.Env)
@@ -247,19 +247,19 @@ func (in *Interp) eval(e ast.Expr, env *Env) (prim.Value, error) {
 				e, env = p.Lam.Body, inner // proper tail call
 			case *PrimProcedure:
 				if err := prim.CheckArity(p.Def, len(args)); err != nil {
-					return nil, err
+					return prim.Value{}, err
 				}
 				return p.Def.Fn(in.ctx, args)
 			case *ContProcedure:
 				if len(args) != 1 {
-					return nil, fmt.Errorf("interp: continuation expects 1 argument, got %d", len(args))
+					return prim.Value{}, fmt.Errorf("interp: continuation expects 1 argument, got %d", len(args))
 				}
 				panic(contPanic{id: p.id, val: args[0]})
 			default:
-				return nil, fmt.Errorf("interp: attempt to apply non-procedure %s", prim.WriteString(fn))
+				return prim.Value{}, fmt.Errorf("interp: attempt to apply non-procedure %s", prim.WriteString(fn))
 			}
 		default:
-			return nil, fmt.Errorf("interp: unknown expression %T", e)
+			return prim.Value{}, fmt.Errorf("interp: unknown expression %T", e)
 		}
 	}
 }
@@ -269,7 +269,7 @@ func (in *Interp) eval(e ast.Expr, env *Env) (prim.Value, error) {
 func (in *Interp) callCC(fexpr ast.Expr, env *Env) (val prim.Value, err error) {
 	fn, err := in.eval(fexpr, env)
 	if err != nil {
-		return nil, err
+		return prim.Value{}, err
 	}
 	id := new(int)
 	k := &ContProcedure{id: id}
@@ -282,37 +282,23 @@ func (in *Interp) callCC(fexpr ast.Expr, env *Env) (val prim.Value, err error) {
 			panic(r)
 		}
 	}()
-	switch p := fn.(type) {
+	switch p := fn.Heap().(type) {
 	case *Closure:
 		if len(p.Lam.Params) != 1 {
-			return nil, fmt.Errorf("interp: call/cc receiver must take 1 argument")
+			return prim.Value{}, fmt.Errorf("interp: call/cc receiver must take 1 argument")
 		}
 		inner := NewEnv(p.Env)
-		inner.bind(p.Lam.Params[0], k)
+		inner.bind(p.Lam.Params[0], prim.ObjV(k))
 		in.Calls++
 		return in.eval(p.Lam.Body, inner)
 	default:
-		return nil, fmt.Errorf("interp: call/cc expects a procedure, got %s", prim.WriteString(fn))
+		return prim.Value{}, fmt.Errorf("interp: call/cc expects a procedure, got %s", prim.WriteString(fn))
 	}
 }
 
-// constValue converts a quoted datum to a runtime value; it deep-copies
-// pairs and vectors so compiled/interpreted runs cannot alias shared
-// program text through set-car! mutations.
+// constValue converts a quoted datum to a runtime value. FromDatum
+// deep-copies pairs and vectors, so compiled/interpreted runs cannot
+// alias shared program text through set-car! mutations.
 func constValue(d sexp.Datum) prim.Value {
-	switch t := d.(type) {
-	case *sexp.Pair:
-		return &sexp.Pair{
-			Car: constValue(t.Car).(sexp.Datum),
-			Cdr: constValue(t.Cdr).(sexp.Datum),
-		}
-	case *sexp.Vector:
-		items := make([]sexp.Datum, len(t.Items))
-		for i, it := range t.Items {
-			items[i] = constValue(it).(sexp.Datum)
-		}
-		return &sexp.Vector{Items: items}
-	default:
-		return d
-	}
+	return prim.FromDatum(d)
 }

@@ -7,7 +7,6 @@ import (
 	"repro/internal/ast"
 	"repro/internal/prelude"
 	"repro/internal/prim"
-	"repro/internal/sexp"
 )
 
 // run evaluates src (with the prelude prepended) and returns the result's
@@ -24,7 +23,7 @@ func run(t *testing.T, src string) string {
 func runErr(src string) (prim.Value, error) {
 	prog, err := ast.ParseString(prelude.Source + "\n" + src)
 	if err != nil {
-		return nil, err
+		return prim.Value{}, err
 	}
 	in := New(nil)
 	in.MaxSteps = 50_000_000
@@ -244,8 +243,8 @@ func TestConstDatumValue(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, ok := v.(*sexp.Pair)
-	if !ok || p.Car != sexp.Symbol("a") || p.Cdr != sexp.Fixnum(5) {
+	p, ok := v.Pair()
+	if !ok || p.Car != prim.SymV("a") || p.Cdr != prim.FixV(5) {
 		t.Errorf("got %#v", v)
 	}
 }

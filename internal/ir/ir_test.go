@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/prim"
 	"repro/internal/regset"
 	"repro/internal/sexp"
 )
@@ -38,12 +39,12 @@ func TestHasCalls(t *testing.T) {
 		e    Expr
 		want bool
 	}{
-		{"const", &Const{Value: sexp.Fixnum(1)}, false},
+		{"const", &Const{Value: prim.FixV(1)}, false},
 		{"var", &VarRef{Var: x}, false},
 		{"call", call, true},
 		{"tail-call-alone", tail, false},
 		{"call-inside-tail-args", &Call{Fn: &GlobalRef{Name: "g"}, Args: []Expr{call}, Tail: true}, true},
-		{"seq", &Seq{Exprs: []Expr{&Const{Value: sexp.Fixnum(1)}, call}}, true},
+		{"seq", &Seq{Exprs: []Expr{&Const{Value: prim.FixV(1)}, call}}, true},
 		{"if-no-calls", &If{Test: &VarRef{Var: x}, Then: &VarRef{Var: x}, Else: &VarRef{Var: x}}, false},
 		{"if-one-arm", &If{Test: &VarRef{Var: x}, Then: call, Else: &VarRef{Var: x}}, true},
 		{"bind-rhs", &Bind{Var: x, Rhs: call, Body: &VarRef{Var: x}}, true},
@@ -65,18 +66,18 @@ func TestPrintForms(t *testing.T) {
 	e := &If{
 		Test:      &VarRef{Var: x},
 		Then:      &PrimCall{Def: nil, Args: nil},
-		Else:      &Const{Value: sexp.Fixnum(1)},
+		Else:      &Const{Value: prim.FixV(1)},
 		ThenSaves: regset.Of(3),
 	}
 	// PrimCall with nil Def would panic on Name; use a real one via a
 	// different expression instead.
-	e.Then = &Const{Value: sexp.Boolean(true)}
+	e.Then = &Const{Value: prim.True}
 	s := Print(e)
 	if !strings.Contains(s, "(if x:r3 (save {r3} #t) 1)") {
 		t.Errorf("got %q", s)
 	}
 
-	bind := &Bind{Var: x, Rhs: &Const{Value: sexp.Fixnum(2)}, Body: &VarRef{Var: x}, SaveVar: true}
+	bind := &Bind{Var: x, Rhs: &Const{Value: prim.FixV(2)}, Body: &VarRef{Var: x}, SaveVar: true}
 	if got := Print(bind); !strings.Contains(got, "save!") {
 		t.Errorf("SaveVar marker missing: %q", got)
 	}
@@ -101,17 +102,17 @@ func TestPrintForms(t *testing.T) {
 		t.Errorf("got %q", got)
 	}
 
-	gset := &GlobalSet{Name: "g", Rhs: &Const{Value: sexp.Fixnum(3)}}
+	gset := &GlobalSet{Name: "g", Rhs: &Const{Value: prim.FixV(3)}}
 	if got := Print(gset); got != "(global-set! g 3)" {
 		t.Errorf("got %q", got)
 	}
 
-	seq := &Seq{Exprs: []Expr{&Const{Value: sexp.Fixnum(1)}, &Const{Value: sexp.Fixnum(2)}}}
+	seq := &Seq{Exprs: []Expr{&Const{Value: prim.FixV(1)}, &Const{Value: prim.FixV(2)}}}
 	if got := Print(seq); got != "(seq 1 2)" {
 		t.Errorf("got %q", got)
 	}
 
-	save := &Save{Regs: regset.Of(1, 2), Body: &Const{Value: sexp.Fixnum(0)}}
+	save := &Save{Regs: regset.Of(1, 2), Body: &Const{Value: prim.FixV(0)}}
 	if got := Print(save); !strings.Contains(got, "(save {r1 r2} 0)") {
 		t.Errorf("got %q", got)
 	}
@@ -126,7 +127,7 @@ func TestPrintProc(t *testing.T) {
 }
 
 func TestQuotedConstPrinting(t *testing.T) {
-	c := &Const{Value: sexp.List(sexp.Symbol("a"), sexp.Fixnum(1))}
+	c := &Const{Value: prim.FromDatum(sexp.List(sexp.Symbol("a"), sexp.Fixnum(1)))}
 	if got := Print(c); got != "(a 1)" {
 		t.Errorf("got %q", got)
 	}

@@ -170,7 +170,9 @@ func (pc *procConverter) newLocal(v *ast.Var) *ir.Var {
 func (pc *procConverter) convert(e ast.Expr, tail bool) (ir.Expr, error) {
 	switch t := e.(type) {
 	case *ast.Const:
-		return &ir.Const{Value: t.Value}, nil
+		// The ast→ir boundary is THE conversion point from compile-time
+		// data (sexp.Datum) to the runtime value representation.
+		return &ir.Const{Value: prim.FromDatum(t.Value)}, nil
 	case *ast.Ref:
 		return pc.resolve(t.Var), nil
 	case *ast.GlobalRef:

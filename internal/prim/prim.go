@@ -4,6 +4,11 @@
 // test that compares the two engines exercises the compiler rather than
 // two divergent libraries.
 //
+// Values use the tagged two-word representation defined in value.go:
+// fixnums, booleans, characters and the empty list are immediates (no
+// heap box), flonums ride in the word next to a shared kind token, and
+// pairs come from a per-machine arena. See that file for the layout.
+//
 // Primitives are deliberately first-order (they never call back into
 // Scheme); higher-order library procedures such as map and for-each are
 // defined in the Scheme prelude (see package runtime's Prelude) and are
@@ -15,15 +20,11 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/sexp"
 )
-
-// Value is a runtime value. Scheme data reuses the sexp datum types
-// (Fixnum, Flonum, Boolean, Char, Str, Symbol, *Pair, *Vector, Empty);
-// procedures and boxes use the types below.
-type Value interface{}
 
 // Box is an assignable cell, the target of assignment conversion.
 type Box struct{ V Value }
@@ -32,8 +33,10 @@ type Box struct{ V Value }
 // representation, so that procedure? works across engines.
 type Procedure interface{ SchemeProcedure() }
 
-// Unspecified is the value of expressions with no useful result.
-var Unspecified Value = sexp.Symbol("#!unspecified")
+// Unspecified is the value of expressions with no useful result. It is
+// deliberately a symbol (as in the original interface representation),
+// so symbol? of (void) stays #t.
+var Unspecified = Value{p: sexp.Symbol("#!unspecified")}
 
 // SchemeError is an error raised by the `error` primitive or by a
 // primitive misuse (wrong type, division by zero, index out of range).
@@ -58,11 +61,44 @@ func Errorf(format string, args ...interface{}) error {
 	return &SchemeError{Msg: fmt.Sprintf(format, args...)}
 }
 
-// Ctx carries the ambient state primitives may touch (the output sink
-// used by display/write/newline and the gensym counter).
+// Ctx carries the ambient state primitives may touch: the output sink
+// used by display/write/newline, the pair arena of the owning machine
+// (nil for engines that allocate from the ordinary heap), the gensym
+// counter, and the symbol→string intern cache.
 type Ctx struct {
 	Out       io.Writer
+	Arena     *Arena
 	gensymCnt int
+	// symStr interns the result of symbol->string per symbol, so the
+	// hot (string-ref (symbol->string s) 0) idiom pays the string-box
+	// allocation once per distinct symbol instead of once per call.
+	// The cache is machine-local (no synchronization needed) and
+	// survives Recycle — boxed strings hold no arena cells.
+	symStr map[sexp.Symbol]Value
+}
+
+// symStrCap bounds the intern cache so a program that manufactures
+// symbols without limit (string->symbol in a loop) cannot grow it
+// unboundedly; past the cap, conversions fall back to a fresh box.
+const symStrCap = 4096
+
+// SymbolString converts a symbol to its name string, interning the
+// boxed result per Ctx. Safe on a nil receiver (uncached conversion).
+func (c *Ctx) SymbolString(s sexp.Symbol) Value {
+	if c == nil {
+		return StrV(sexp.Str(s))
+	}
+	if v, ok := c.symStr[s]; ok {
+		return v
+	}
+	v := StrV(sexp.Str(s))
+	if len(c.symStr) < symStrCap {
+		if c.symStr == nil {
+			c.symStr = make(map[sexp.Symbol]Value)
+		}
+		c.symStr[s] = v
+	}
+	return v
 }
 
 // Fn is the Go implementation of a primitive.
@@ -109,46 +145,109 @@ func CheckArity(d *Def, n int) error {
 	return nil
 }
 
-// Truthy implements Scheme truth: everything except #f is true. The
-// type assertion compiles to a type-pointer compare, where comparing
-// interfaces directly would call into the runtime — this is the VM's
-// branch condition, so it is hot.
+// Truthy implements Scheme truth: everything except #f is true. With
+// the tagged representation this is two word compares — no interface
+// assertion — which matters because it is the VM's branch condition.
 func Truthy(v Value) bool {
-	b, ok := v.(sexp.Boolean)
-	return !ok || bool(b)
+	return v.p != nil || v.w != False.w
 }
 
 // WriteString renders a value in external (write) notation.
 func WriteString(v Value) string {
-	switch t := v.(type) {
-	case sexp.Datum:
-		return writeDatum(t)
+	if v.p == nil {
+		switch v.w & tagMask {
+		case tagFixnum:
+			return strconv.FormatInt(int64(v.w)>>3, 10)
+		case tagBool:
+			if v.w>>3 != 0 {
+				return "#t"
+			}
+			return "#f"
+		case tagChar:
+			return sexp.Char(int64(v.w) >> 3).String()
+		case tagEmpty:
+			return "()"
+		case tagRet:
+			pc, fp, _ := v.Ret()
+			return fmt.Sprintf("#<retaddr %d %d>", pc, fp)
+		default: // tagNone: the "no value" sentinel
+			return "#<void>"
+		}
+	}
+	if v.p == floToken {
+		return sexp.Flonum(math.Float64frombits(v.w)).String()
+	}
+	switch t := v.p.(type) {
+	case sexp.Symbol:
+		return string(t)
+	case sexp.Str:
+		return strconv.Quote(string(t))
+	case *fixBox:
+		return strconv.FormatInt(int64(*t), 10)
+	case *Pair:
+		var b strings.Builder
+		b.WriteByte('(')
+		writeTail(&b, t)
+		b.WriteByte(')')
+		return b.String()
+	case *Vector:
+		var b strings.Builder
+		b.WriteString("#(")
+		for i, it := range t.Items {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(WriteString(it))
+		}
+		b.WriteByte(')')
+		return b.String()
 	case *Box:
 		return "#&" + WriteString(t.V)
 	case Procedure:
 		return "#<procedure>"
-	case nil:
-		return "#<void>"
 	default:
-		return fmt.Sprintf("#<%T %v>", v, v)
+		return fmt.Sprintf("#<%T %v>", v.p, v.p)
+	}
+}
+
+func writeTail(b *strings.Builder, p *Pair) {
+	b.WriteString(WriteString(p.Car))
+	for {
+		cdr := p.Cdr
+		if cdr.IsEmpty() {
+			return
+		}
+		if next, ok := cdr.Pair(); ok {
+			b.WriteByte(' ')
+			b.WriteString(WriteString(next.Car))
+			p = next
+			continue
+		}
+		b.WriteString(" . ")
+		b.WriteString(WriteString(cdr))
+		return
 	}
 }
 
 // DisplayString renders a value in display notation (strings unquoted,
 // characters raw).
 func DisplayString(v Value) string {
-	switch t := v.(type) {
+	if v.p == nil {
+		if v.w&tagMask == tagChar {
+			return string(rune(int64(v.w) >> 3))
+		}
+		return WriteString(v)
+	}
+	switch t := v.p.(type) {
 	case sexp.Str:
 		return string(t)
-	case sexp.Char:
-		return string(rune(t))
-	case *sexp.Pair:
+	case *Pair:
 		var b strings.Builder
 		b.WriteByte('(')
 		displayTail(&b, t)
 		b.WriteByte(')')
 		return b.String()
-	case *sexp.Vector:
+	case *Vector:
 		var b strings.Builder
 		b.WriteString("#(")
 		for i, it := range t.Items {
@@ -164,67 +263,33 @@ func DisplayString(v Value) string {
 	}
 }
 
-func displayTail(b *strings.Builder, p *sexp.Pair) {
+func displayTail(b *strings.Builder, p *Pair) {
 	b.WriteString(DisplayString(p.Car))
-	switch cdr := p.Cdr.(type) {
-	case sexp.Empty:
-	case *sexp.Pair:
-		b.WriteByte(' ')
-		displayTail(b, cdr)
-	default:
+	for {
+		cdr := p.Cdr
+		if cdr.IsEmpty() {
+			return
+		}
+		if next, ok := cdr.Pair(); ok {
+			b.WriteByte(' ')
+			b.WriteString(DisplayString(next.Car))
+			p = next
+			continue
+		}
 		b.WriteString(" . ")
 		b.WriteString(DisplayString(cdr))
-	}
-}
-
-// writeDatum handles pairs/vectors that may contain non-datum values
-// (closures, boxes) by recursing through WriteString.
-func writeDatum(d sexp.Datum) string {
-	switch t := d.(type) {
-	case *sexp.Pair:
-		var b strings.Builder
-		b.WriteByte('(')
-		writeTailMixed(&b, t)
-		b.WriteByte(')')
-		return b.String()
-	case *sexp.Vector:
-		var b strings.Builder
-		b.WriteString("#(")
-		for i, it := range t.Items {
-			if i > 0 {
-				b.WriteByte(' ')
-			}
-			b.WriteString(WriteString(it))
-		}
-		b.WriteByte(')')
-		return b.String()
-	default:
-		return d.String()
-	}
-}
-
-func writeTailMixed(b *strings.Builder, p *sexp.Pair) {
-	b.WriteString(WriteString(p.Car))
-	switch cdr := p.Cdr.(type) {
-	case sexp.Empty:
-	case *sexp.Pair:
-		b.WriteByte(' ')
-		writeTailMixed(b, cdr)
-	default:
-		b.WriteString(" . ")
-		b.WriteString(WriteString(cdr))
+		return
 	}
 }
 
 // Equal implements Scheme equal? over runtime values.
 func Equal(a, b Value) bool {
-	a, b = unwrapValue(a), unwrapValue(b)
-	switch x := a.(type) {
-	case *sexp.Pair:
-		y, ok := b.(*sexp.Pair)
+	switch x := a.p.(type) {
+	case *Pair:
+		y, ok := b.p.(*Pair)
 		return ok && Equal(x.Car, y.Car) && Equal(x.Cdr, y.Cdr)
-	case *sexp.Vector:
-		y, ok := b.(*sexp.Vector)
+	case *Vector:
+		y, ok := b.p.(*Vector)
 		if !ok || len(x.Items) != len(y.Items) {
 			return false
 		}
@@ -235,56 +300,34 @@ func Equal(a, b Value) bool {
 		}
 		return true
 	case *Box:
-		y, ok := b.(*Box)
+		y, ok := b.p.(*Box)
 		return ok && Equal(x.V, y.V)
 	default:
 		return Eqv(a, b)
 	}
 }
 
-// unwrapValue removes the opaque wrapper that lets non-datum values live
-// inside pairs and vectors.
-func unwrapValue(v Value) Value {
-	if d, ok := v.(sexp.Datum); ok {
-		return Unwrap(d)
-	}
-	return v
-}
-
-// Eqv implements Scheme eqv?.
+// Eqv implements Scheme eqv?. Immediates compare by word; flonums by
+// numeric value (NaN is not eqv? to anything, matching the previous
+// interface-equality semantics where == applied IEEE comparison);
+// out-of-range fixnums by value (the canonical-encoding invariant means
+// this case only arises boxed-vs-boxed); everything else by Go
+// interface equality, which is value identity for symbols and strings
+// (both immutable) and pointer identity for pairs, vectors, boxes and
+// procedures.
 func Eqv(a, b Value) bool {
-	// Fast paths for the common concrete types. These cannot be hiding
-	// inside an opaque wrapper (asDatum wraps only non-datum values), so
-	// the unwrap below is unnecessary for them, and a concrete type
-	// assertion is much cheaper than an interface-to-interface one.
-	switch x := a.(type) {
-	case sexp.Fixnum:
-		y, ok := b.(sexp.Fixnum)
-		return ok && x == y
-	case sexp.Symbol:
-		y, ok := b.(sexp.Symbol)
-		return ok && x == y
-	case sexp.Boolean:
-		y, ok := b.(sexp.Boolean)
-		return ok && x == y
-	case sexp.Empty:
-		_, ok := b.(sexp.Empty)
-		return ok
-	case *sexp.Pair:
-		y, ok := b.(*sexp.Pair)
-		return ok && x == y
+	if a.p == nil || b.p == nil {
+		return a.w == b.w && a.p == b.p
 	}
-	a, b = unwrapValue(a), unwrapValue(b)
-	switch a.(type) {
-	case sexp.Fixnum, sexp.Flonum, sexp.Boolean, sexp.Char, sexp.Symbol, sexp.Empty:
-		return a == b
+	if a.p == floToken {
+		return b.p == floToken &&
+			math.Float64frombits(a.w) == math.Float64frombits(b.w)
 	}
-	// Pointer identity for pairs, vectors, strings, boxes, procedures.
-	if sa, ok := a.(sexp.Str); ok {
-		sb, ok := b.(sexp.Str)
-		return ok && sa == sb // strings are immutable; value identity is safe
+	if x, ok := a.p.(*fixBox); ok {
+		y, ok := b.p.(*fixBox)
+		return ok && *x == *y
 	}
-	return a == b
+	return a.p == b.p
 }
 
 // Eq implements Scheme eq?; with our representations it coincides with
@@ -299,63 +342,54 @@ func numSub(a, b Value) (Value, error) { return numOp(a, b, "-") }
 func numMul(a, b Value) (Value, error) { return numOp(a, b, "*") }
 
 func numOp(a, b Value, op string) (Value, error) {
-	switch x := a.(type) {
-	case sexp.Fixnum:
-		switch y := b.(type) {
-		case sexp.Fixnum:
+	if x, ok := a.Fixnum(); ok {
+		if y, ok := b.Fixnum(); ok {
+			// Fixnum arithmetic wraps at int64 (the boxed fallback keeps
+			// the full 64-bit result exact; only true int64 overflow
+			// wraps, as it always has).
 			switch op {
 			case "+":
-				return x + y, nil
+				return FixV(x + y), nil
 			case "-":
-				return x - y, nil
+				return FixV(x - y), nil
 			case "*":
-				return x * y, nil
+				return FixV(x * y), nil
 			}
-		case sexp.Flonum:
-			return flonumOp(float64(x), float64(y), op), nil
 		}
-	case sexp.Flonum:
-		switch y := b.(type) {
-		case sexp.Fixnum:
-			return flonumOp(float64(x), float64(y), op), nil
-		case sexp.Flonum:
-			return flonumOp(float64(x), float64(y), op), nil
+		if y, ok := b.Flonum(); ok {
+			return flonumOp(float64(x), y, op), nil
+		}
+	} else if x, ok := a.Flonum(); ok {
+		if y, ok := toFloat(b); ok {
+			return flonumOp(x, y, op), nil
 		}
 	}
-	return nil, Errorf("%s: expected numbers, got %s and %s", op, WriteString(a), WriteString(b))
+	return Value{}, Errorf("%s: expected numbers, got %s and %s", op, WriteString(a), WriteString(b))
 }
 
 func flonumOp(x, y float64, op string) Value {
 	switch op {
 	case "+":
-		return sexp.Flonum(x + y)
+		return FloV(x + y)
 	case "-":
-		return sexp.Flonum(x - y)
+		return FloV(x - y)
 	case "*":
-		return sexp.Flonum(x * y)
+		return FloV(x * y)
 	}
 	panic("unreachable")
 }
 
 func toFloat(v Value) (float64, bool) {
-	switch t := v.(type) {
-	case sexp.Fixnum:
-		return float64(t), true
-	case sexp.Flonum:
-		return float64(t), true
+	if n, ok := v.Fixnum(); ok {
+		return float64(n), true
 	}
-	return 0, false
+	return v.Flonum()
 }
 
 func numCompare(a, b Value) (int, error) {
-	x, okx := toFloat(a)
-	y, oky := toFloat(b)
-	if !okx || !oky {
-		return 0, Errorf("comparison: expected numbers, got %s and %s", WriteString(a), WriteString(b))
-	}
 	// Exact fixnum comparison avoids float rounding for large ints.
-	if xa, ok := a.(sexp.Fixnum); ok {
-		if yb, ok := b.(sexp.Fixnum); ok {
+	if xa, ok := a.Fixnum(); ok {
+		if yb, ok := b.Fixnum(); ok {
 			switch {
 			case xa < yb:
 				return -1, nil
@@ -365,6 +399,11 @@ func numCompare(a, b Value) (int, error) {
 				return 0, nil
 			}
 		}
+	}
+	x, okx := toFloat(a)
+	y, oky := toFloat(b)
+	if !okx || !oky {
+		return 0, Errorf("comparison: expected numbers, got %s and %s", WriteString(a), WriteString(b))
 	}
 	switch {
 	case x < y:
@@ -378,24 +417,24 @@ func numCompare(a, b Value) (int, error) {
 	}
 }
 
-func wantFixnum(name string, v Value) (sexp.Fixnum, error) {
-	n, ok := v.(sexp.Fixnum)
+func wantFixnum(name string, v Value) (int64, error) {
+	n, ok := v.Fixnum()
 	if !ok {
 		return 0, Errorf("%s: expected fixnum, got %s", name, WriteString(v))
 	}
 	return n, nil
 }
 
-func wantPair(name string, v Value) (*sexp.Pair, error) {
-	p, ok := v.(*sexp.Pair)
+func wantPair(name string, v Value) (*Pair, error) {
+	p, ok := v.Pair()
 	if !ok {
 		return nil, Errorf("%s: expected pair, got %s", name, WriteString(v))
 	}
 	return p, nil
 }
 
-func wantVector(name string, v Value) (*sexp.Vector, error) {
-	p, ok := v.(*sexp.Vector)
+func wantVector(name string, v Value) (*Vector, error) {
+	p, ok := v.Vector()
 	if !ok {
 		return nil, Errorf("%s: expected vector, got %s", name, WriteString(v))
 	}
@@ -403,11 +442,11 @@ func wantVector(name string, v Value) (*sexp.Vector, error) {
 }
 
 func wantString(name string, v Value) (sexp.Str, error) {
-	s, ok := v.(sexp.Str)
+	s, ok := v.Str()
 	if !ok {
 		return "", Errorf("%s: expected string, got %s", name, WriteString(v))
 	}
 	return s, nil
 }
 
-func boolV(b bool) Value { return sexp.Boolean(b) }
+func boolV(b bool) Value { return BoolV(b) }

@@ -36,74 +36,75 @@ func callErr(name string, args ...Value) error {
 }
 
 func TestArithmetic(t *testing.T) {
-	if got := call(t, "+", sexp.Fixnum(1), sexp.Fixnum(2)); got != sexp.Fixnum(3) {
+	if got := call(t, "+", FixV(1), FixV(2)); got != FixV(3) {
 		t.Errorf("+ = %v", got)
 	}
-	if got := call(t, "+", sexp.Fixnum(1), sexp.Flonum(0.5)); got != sexp.Flonum(1.5) {
+	if got := call(t, "+", FixV(1), FloV(0.5)); got != FloV(1.5) {
 		t.Errorf("mixed + = %v", got)
 	}
-	if got := call(t, "-", sexp.Fixnum(5)); got != sexp.Fixnum(-5) {
+	if got := call(t, "-", FixV(5)); got != FixV(-5) {
 		t.Errorf("unary - = %v", got)
 	}
-	if got := call(t, "/", sexp.Fixnum(6), sexp.Fixnum(3)); got != sexp.Fixnum(2) {
+	if got := call(t, "/", FixV(6), FixV(3)); got != FixV(2) {
 		t.Errorf("exact / = %v", got)
 	}
-	if got := call(t, "/", sexp.Fixnum(1), sexp.Fixnum(2)); got != sexp.Flonum(0.5) {
+	if got := call(t, "/", FixV(1), FixV(2)); got != FloV(0.5) {
 		t.Errorf("inexact / = %v", got)
 	}
-	if err := callErr("/", sexp.Fixnum(1), sexp.Fixnum(0)); err == nil {
+	if err := callErr("/", FixV(1), FixV(0)); err == nil {
 		t.Error("division by zero should error")
 	}
-	if got := call(t, "modulo", sexp.Fixnum(-7), sexp.Fixnum(3)); got != sexp.Fixnum(2) {
+	if got := call(t, "modulo", FixV(-7), FixV(3)); got != FixV(2) {
 		t.Errorf("modulo = %v", got)
 	}
-	if got := call(t, "expt", sexp.Fixnum(3), sexp.Fixnum(4)); got != sexp.Fixnum(81) {
+	if got := call(t, "expt", FixV(3), FixV(4)); got != FixV(81) {
 		t.Errorf("expt = %v", got)
 	}
-	if got := call(t, "min", sexp.Fixnum(3), sexp.Fixnum(1), sexp.Fixnum(2)); got != sexp.Fixnum(1) {
+	if got := call(t, "min", FixV(3), FixV(1), FixV(2)); got != FixV(1) {
 		t.Errorf("min = %v", got)
 	}
 }
 
 func TestComparisons(t *testing.T) {
-	if got := call(t, "<", sexp.Fixnum(1), sexp.Fixnum(2), sexp.Fixnum(3)); got != sexp.Boolean(true) {
+	if got := call(t, "<", FixV(1), FixV(2), FixV(3)); got != BoolV(true) {
 		t.Errorf("< chain = %v", got)
 	}
-	if got := call(t, "=", sexp.Fixnum(2), sexp.Flonum(2)); got != sexp.Boolean(true) {
+	if got := call(t, "=", FixV(2), FloV(2)); got != BoolV(true) {
 		t.Errorf("= mixed = %v", got)
 	}
-	// Large fixnums compare exactly (no float rounding).
-	big := sexp.Fixnum(1 << 62)
-	if got := call(t, "<", big, big+1); got != sexp.Boolean(true) {
+	// Large fixnums compare exactly (no float rounding); 1<<62 is out of
+	// immediate range, so this also exercises the boxed-fixnum path.
+	big, bigger := FixV(1<<62), FixV(1<<62+1)
+	if got := call(t, "<", big, bigger); got != BoolV(true) {
 		t.Errorf("big fixnum < = %v", got)
 	}
 }
 
 func TestPairsAndOpaque(t *testing.T) {
-	p := call(t, "cons", sexp.Fixnum(1), sexp.Fixnum(2))
-	if got := call(t, "car", p); got != sexp.Fixnum(1) {
+	p := call(t, "cons", FixV(1), FixV(2))
+	if got := call(t, "car", p); got != FixV(1) {
 		t.Errorf("car = %v", got)
 	}
 	// Boxes survive storage in pairs.
-	b := &Box{V: sexp.Fixnum(7)}
-	p2 := call(t, "cons", b, sexp.Nil)
+	b := &Box{V: FixV(7)}
+	p2 := call(t, "cons", BoxV(b), Empty)
 	got := call(t, "car", p2)
-	if got != Value(b) {
+	if got != BoxV(b) {
 		t.Errorf("car of boxed pair = %#v", got)
 	}
-	call(t, "set-car!", p2, sexp.Fixnum(9))
-	if got := call(t, "car", p2); got != sexp.Fixnum(9) {
+	call(t, "set-car!", p2, FixV(9))
+	if got := call(t, "car", p2); got != FixV(9) {
 		t.Errorf("after set-car! = %v", got)
 	}
 }
 
 func TestCxr(t *testing.T) {
 	// (cadr '(1 2 3)) = 2
-	lst := call(t, "list", sexp.Fixnum(1), sexp.Fixnum(2), sexp.Fixnum(3))
-	if got := call(t, "cadr", lst); got != sexp.Fixnum(2) {
+	lst := call(t, "list", FixV(1), FixV(2), FixV(3))
+	if got := call(t, "cadr", lst); got != FixV(2) {
 		t.Errorf("cadr = %v", got)
 	}
-	if got := call(t, "caddr", lst); got != sexp.Fixnum(3) {
+	if got := call(t, "caddr", lst); got != FixV(3) {
 		t.Errorf("caddr = %v", got)
 	}
 	if err := callErr("caar", lst); err == nil {
@@ -112,48 +113,48 @@ func TestCxr(t *testing.T) {
 }
 
 func TestVectors(t *testing.T) {
-	v := call(t, "make-vector", sexp.Fixnum(3), sexp.Symbol("z"))
-	if got := call(t, "vector-length", v); got != sexp.Fixnum(3) {
+	v := call(t, "make-vector", FixV(3), SymV("z"))
+	if got := call(t, "vector-length", v); got != FixV(3) {
 		t.Errorf("vector-length = %v", got)
 	}
-	call(t, "vector-set!", v, sexp.Fixnum(1), sexp.Fixnum(42))
-	if got := call(t, "vector-ref", v, sexp.Fixnum(1)); got != sexp.Fixnum(42) {
+	call(t, "vector-set!", v, FixV(1), FixV(42))
+	if got := call(t, "vector-ref", v, FixV(1)); got != FixV(42) {
 		t.Errorf("vector-ref = %v", got)
 	}
-	if err := callErr("vector-ref", v, sexp.Fixnum(3)); err == nil {
+	if err := callErr("vector-ref", v, FixV(3)); err == nil {
 		t.Error("out-of-range vector-ref should error")
 	}
 	lst := call(t, "vector->list", v)
 	v2 := call(t, "list->vector", lst)
-	if got := call(t, "vector-ref", v2, sexp.Fixnum(1)); got != sexp.Fixnum(42) {
+	if got := call(t, "vector-ref", v2, FixV(1)); got != FixV(42) {
 		t.Errorf("round trip vector-ref = %v", got)
 	}
 }
 
 func TestStrings(t *testing.T) {
-	if got := call(t, "string-append", sexp.Str("foo"), sexp.Str("bar")); got != sexp.Str("foobar") {
+	if got := call(t, "string-append", StrV("foo"), StrV("bar")); got != StrV("foobar") {
 		t.Errorf("string-append = %v", got)
 	}
-	if got := call(t, "substring", sexp.Str("hello"), sexp.Fixnum(1), sexp.Fixnum(3)); got != sexp.Str("el") {
+	if got := call(t, "substring", StrV("hello"), FixV(1), FixV(3)); got != StrV("el") {
 		t.Errorf("substring = %v", got)
 	}
-	if got := call(t, "string->number", sexp.Str("12")); got != sexp.Fixnum(12) {
+	if got := call(t, "string->number", StrV("12")); got != FixV(12) {
 		t.Errorf("string->number = %v", got)
 	}
-	if got := call(t, "string->number", sexp.Str("nope")); got != sexp.Boolean(false) {
+	if got := call(t, "string->number", StrV("nope")); got != BoolV(false) {
 		t.Errorf("string->number non-number = %v", got)
 	}
-	if got := call(t, "string->symbol", sexp.Str("abc")); got != sexp.Symbol("abc") {
+	if got := call(t, "string->symbol", StrV("abc")); got != SymV("abc") {
 		t.Errorf("string->symbol = %v", got)
 	}
 }
 
 func TestEqvEqualSemantics(t *testing.T) {
-	if !Eqv(sexp.Fixnum(3), sexp.Fixnum(3)) {
+	if !Eqv(FixV(3), FixV(3)) {
 		t.Error("eqv? fixnums")
 	}
-	p1 := &sexp.Pair{Car: sexp.Fixnum(1), Cdr: sexp.Nil}
-	p2 := &sexp.Pair{Car: sexp.Fixnum(1), Cdr: sexp.Nil}
+	p1 := PairV(&Pair{Car: FixV(1), Cdr: Empty})
+	p2 := PairV(&Pair{Car: FixV(1), Cdr: Empty})
 	if Eqv(p1, p2) {
 		t.Error("eqv? distinct pairs should be false")
 	}
@@ -166,23 +167,23 @@ func TestEqvEqualSemantics(t *testing.T) {
 }
 
 func TestWriteDisplay(t *testing.T) {
-	lst := call(t, "list", sexp.Str("a"), sexp.Char('b'))
+	lst := call(t, "list", StrV("a"), CharV('b'))
 	if got := WriteString(lst); got != `("a" #\b)` {
 		t.Errorf("WriteString = %q", got)
 	}
 	if got := DisplayString(lst); got != "(a b)" {
 		t.Errorf("DisplayString = %q", got)
 	}
-	if got := WriteString(&Box{V: sexp.Fixnum(1)}); got != "#&1" {
+	if got := WriteString(BoxV(&Box{V: FixV(1)})); got != "#&1" {
 		t.Errorf("box = %q", got)
 	}
 }
 
 func TestArityChecking(t *testing.T) {
-	if err := callErr("cons", sexp.Fixnum(1)); err == nil {
+	if err := callErr("cons", FixV(1)); err == nil {
 		t.Error("cons/1 should fail arity check")
 	}
-	if err := callErr("newline", sexp.Fixnum(1)); err == nil {
+	if err := callErr("newline", FixV(1)); err == nil {
 		t.Error("newline/1 should fail arity check")
 	}
 }
@@ -203,7 +204,7 @@ func TestIOOutput(t *testing.T) {
 	var b strings.Builder
 	ctx := &Ctx{Out: &b}
 	d := Lookup("display")
-	if _, err := d.Fn(ctx, []Value{sexp.Str("hi")}); err != nil {
+	if _, err := d.Fn(ctx, []Value{StrV("hi")}); err != nil {
 		t.Fatal(err)
 	}
 	n := Lookup("newline")
@@ -216,10 +217,10 @@ func TestIOOutput(t *testing.T) {
 }
 
 func TestTruthy(t *testing.T) {
-	if Truthy(sexp.Boolean(false)) {
+	if Truthy(BoolV(false)) {
 		t.Error("#f should be falsy")
 	}
-	for _, v := range []Value{sexp.Fixnum(0), sexp.Nil, sexp.Str(""), sexp.Boolean(true)} {
+	for _, v := range []Value{FixV(0), Empty, StrV(""), BoolV(true)} {
 		if !Truthy(v) {
 			t.Errorf("%v should be truthy", WriteString(v))
 		}

@@ -26,94 +26,91 @@ func registerPredicates() {
 	def("eqv?", 2, 2, func(ctx *Ctx, a []Value) (Value, error) { return boolV(Eqv(a[0], a[1])), nil })
 	def("equal?", 2, 2, func(ctx *Ctx, a []Value) (Value, error) { return boolV(Equal(a[0], a[1])), nil })
 	def("null?", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
-		_, ok := a[0].(sexp.Empty)
-		return boolV(ok), nil
+		return boolV(a[0].IsEmpty()), nil
 	})
 	def("pair?", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
-		_, ok := a[0].(*sexp.Pair)
+		_, ok := a[0].Pair()
 		return boolV(ok), nil
 	})
 	def("symbol?", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
-		_, ok := a[0].(sexp.Symbol)
+		_, ok := a[0].Symbol()
 		return boolV(ok), nil
 	})
 	def("number?", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
-		_, ok := toFloat(a[0])
-		return boolV(ok), nil
+		return boolV(a[0].IsNumber()), nil
 	})
 	def("integer?", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
-		switch t := a[0].(type) {
-		case sexp.Fixnum:
+		if _, ok := a[0].Fixnum(); ok {
 			return boolV(true), nil
-		case sexp.Flonum:
-			return boolV(float64(t) == math.Trunc(float64(t))), nil
+		}
+		if f, ok := a[0].Flonum(); ok {
+			return boolV(f == math.Trunc(f)), nil
 		}
 		return boolV(false), nil
 	})
 	def("fixnum?", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
-		_, ok := a[0].(sexp.Fixnum)
+		_, ok := a[0].Fixnum()
 		return boolV(ok), nil
 	})
 	def("flonum?", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
-		_, ok := a[0].(sexp.Flonum)
+		_, ok := a[0].Flonum()
 		return boolV(ok), nil
 	})
 	def("boolean?", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
-		_, ok := a[0].(sexp.Boolean)
-		return boolV(ok), nil
+		return boolV(a[0].IsBool()), nil
 	})
 	def("string?", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
-		_, ok := a[0].(sexp.Str)
+		_, ok := a[0].Str()
 		return boolV(ok), nil
 	})
 	def("char?", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
-		_, ok := a[0].(sexp.Char)
+		_, ok := a[0].Char()
 		return boolV(ok), nil
 	})
 	def("vector?", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
-		_, ok := a[0].(*sexp.Vector)
+		_, ok := a[0].Vector()
 		return boolV(ok), nil
 	})
 	def("procedure?", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
-		_, ok := a[0].(Procedure)
+		_, ok := a[0].Heap().(Procedure)
 		return boolV(ok), nil
 	})
 	def("box?", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
-		_, ok := a[0].(*Box)
+		_, ok := a[0].Box()
 		return boolV(ok), nil
 	})
 	def("zero?", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
-		c, err := numCompare(a[0], sexp.Fixnum(0))
+		c, err := numCompare(a[0], FixV(0))
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		return boolV(c == 0), nil
 	})
 	def("positive?", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
-		c, err := numCompare(a[0], sexp.Fixnum(0))
+		c, err := numCompare(a[0], FixV(0))
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		return boolV(c == 1), nil
 	})
 	def("negative?", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
-		c, err := numCompare(a[0], sexp.Fixnum(0))
+		c, err := numCompare(a[0], FixV(0))
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		return boolV(c == -1), nil
 	})
 	def("even?", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
 		n, err := wantFixnum("even?", a[0])
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		return boolV(n%2 == 0), nil
 	})
 	def("odd?", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
 		n, err := wantFixnum("odd?", a[0])
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		return boolV(n%2 != 0), nil
 	})
@@ -121,36 +118,36 @@ func registerPredicates() {
 
 func registerPairs() {
 	def("cons", 2, 2, func(ctx *Ctx, a []Value) (Value, error) {
-		return &sexp.Pair{Car: asDatum(a[0]), Cdr: asDatum(a[1])}, nil
+		return ctx.Cons(a[0], a[1]), nil
 	})
 	def("car", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
 		p, err := wantPair("car", a[0])
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
-		return Unwrap(p.Car), nil
+		return p.Car, nil
 	})
 	def("cdr", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
 		p, err := wantPair("cdr", a[0])
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
-		return Unwrap(p.Cdr), nil
+		return p.Cdr, nil
 	})
 	def("set-car!", 2, 2, func(ctx *Ctx, a []Value) (Value, error) {
 		p, err := wantPair("set-car!", a[0])
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
-		p.Car = asDatum(a[1])
+		p.Car = a[1]
 		return Unspecified, nil
 	})
 	def("set-cdr!", 2, 2, func(ctx *Ctx, a []Value) (Value, error) {
 		p, err := wantPair("set-cdr!", a[0])
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
-		p.Cdr = asDatum(a[1])
+		p.Cdr = a[1]
 		return Unspecified, nil
 	})
 	// Compound accessors caar..cddr and the common three-deep ones.
@@ -162,21 +159,21 @@ func registerPairs() {
 			for i := len(path) - 1; i >= 0; i-- {
 				p, err := wantPair(name, v)
 				if err != nil {
-					return nil, err
+					return Value{}, err
 				}
 				if path[i] == 'a' {
-					v = Unwrap(p.Car)
+					v = p.Car
 				} else {
-					v = Unwrap(p.Cdr)
+					v = p.Cdr
 				}
 			}
 			return v, nil
 		})
 	}
 	def("list", 0, -1, func(ctx *Ctx, a []Value) (Value, error) {
-		var out sexp.Datum = sexp.Nil
+		out := Empty
 		for i := len(a) - 1; i >= 0; i-- {
-			out = &sexp.Pair{Car: asDatum(a[i]), Cdr: out}
+			out = ctx.Cons(a[i], out)
 		}
 		return out, nil
 	})
@@ -187,67 +184,67 @@ func registerNumeric() {
 		// Two-fixnum fast path: the compiler emits almost all arithmetic
 		// as binary, and fixnums dominate the benchmark suite.
 		if len(a) == 2 {
-			if x, ok := a[0].(sexp.Fixnum); ok {
-				if y, ok := a[1].(sexp.Fixnum); ok {
-					return x + y, nil
+			if x, ok := a[0].Fixnum(); ok {
+				if y, ok := a[1].Fixnum(); ok {
+					return FixV(x + y), nil
 				}
 			}
 		}
-		var acc Value = sexp.Fixnum(0)
+		acc := FixV(0)
 		for _, v := range a {
 			var err error
 			if acc, err = numAdd(acc, v); err != nil {
-				return nil, err
+				return Value{}, err
 			}
 		}
 		return acc, nil
 	})
 	def("-", 1, -1, func(ctx *Ctx, a []Value) (Value, error) {
 		if len(a) == 2 {
-			if x, ok := a[0].(sexp.Fixnum); ok {
-				if y, ok := a[1].(sexp.Fixnum); ok {
-					return x - y, nil
+			if x, ok := a[0].Fixnum(); ok {
+				if y, ok := a[1].Fixnum(); ok {
+					return FixV(x - y), nil
 				}
 			}
 		}
 		if len(a) == 1 {
-			return numSub(sexp.Fixnum(0), a[0])
+			return numSub(FixV(0), a[0])
 		}
 		acc := a[0]
 		for _, v := range a[1:] {
 			var err error
 			if acc, err = numSub(acc, v); err != nil {
-				return nil, err
+				return Value{}, err
 			}
 		}
 		return acc, nil
 	})
 	def("*", 0, -1, func(ctx *Ctx, a []Value) (Value, error) {
 		if len(a) == 2 {
-			if x, ok := a[0].(sexp.Fixnum); ok {
-				if y, ok := a[1].(sexp.Fixnum); ok {
-					return x * y, nil
+			if x, ok := a[0].Fixnum(); ok {
+				if y, ok := a[1].Fixnum(); ok {
+					return FixV(x * y), nil
 				}
 			}
 		}
-		var acc Value = sexp.Fixnum(1)
+		acc := FixV(1)
 		for _, v := range a {
 			var err error
 			if acc, err = numMul(acc, v); err != nil {
-				return nil, err
+				return Value{}, err
 			}
 		}
 		return acc, nil
 	})
 	def("/", 1, -1, func(ctx *Ctx, a []Value) (Value, error) {
 		if len(a) == 1 {
-			return divide(sexp.Fixnum(1), a[0])
+			return divide(FixV(1), a[0])
 		}
 		acc := a[0]
 		for _, v := range a[1:] {
 			var err error
 			if acc, err = divide(acc, v); err != nil {
-				return nil, err
+				return Value{}, err
 			}
 		}
 		return acc, nil
@@ -255,90 +252,90 @@ func registerNumeric() {
 	def("quotient", 2, 2, func(ctx *Ctx, a []Value) (Value, error) {
 		x, err := wantFixnum("quotient", a[0])
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		y, err := wantFixnum("quotient", a[1])
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		if y == 0 {
-			return nil, Errorf("quotient: division by zero")
+			return Value{}, Errorf("quotient: division by zero")
 		}
-		return x / y, nil
+		return FixV(x / y), nil
 	})
 	def("remainder", 2, 2, func(ctx *Ctx, a []Value) (Value, error) {
 		x, err := wantFixnum("remainder", a[0])
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		y, err := wantFixnum("remainder", a[1])
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		if y == 0 {
-			return nil, Errorf("remainder: division by zero")
+			return Value{}, Errorf("remainder: division by zero")
 		}
-		return x % y, nil
+		return FixV(x % y), nil
 	})
 	def("modulo", 2, 2, func(ctx *Ctx, a []Value) (Value, error) {
 		x, err := wantFixnum("modulo", a[0])
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		y, err := wantFixnum("modulo", a[1])
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		if y == 0 {
-			return nil, Errorf("modulo: division by zero")
+			return Value{}, Errorf("modulo: division by zero")
 		}
 		m := x % y
 		if m != 0 && (m < 0) != (y < 0) {
 			m += y
 		}
-		return m, nil
+		return FixV(m), nil
 	})
 	def("abs", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
-		switch t := a[0].(type) {
-		case sexp.Fixnum:
-			if t < 0 {
-				return -t, nil
+		if n, ok := a[0].Fixnum(); ok {
+			if n < 0 {
+				return FixV(-n), nil
 			}
-			return t, nil
-		case sexp.Flonum:
-			return sexp.Flonum(math.Abs(float64(t))), nil
+			return a[0], nil
 		}
-		return nil, Errorf("abs: expected number, got %s", WriteString(a[0]))
+		if f, ok := a[0].Flonum(); ok {
+			return FloV(math.Abs(f)), nil
+		}
+		return Value{}, Errorf("abs: expected number, got %s", WriteString(a[0]))
 	})
 	def("min", 1, -1, func(ctx *Ctx, a []Value) (Value, error) { return minMax(a, -1) })
 	def("max", 1, -1, func(ctx *Ctx, a []Value) (Value, error) { return minMax(a, 1) })
-	def("1+", 1, 1, func(ctx *Ctx, a []Value) (Value, error) { return numAdd(a[0], sexp.Fixnum(1)) })
-	def("1-", 1, 1, func(ctx *Ctx, a []Value) (Value, error) { return numSub(a[0], sexp.Fixnum(1)) })
-	def("add1", 1, 1, func(ctx *Ctx, a []Value) (Value, error) { return numAdd(a[0], sexp.Fixnum(1)) })
-	def("sub1", 1, 1, func(ctx *Ctx, a []Value) (Value, error) { return numSub(a[0], sexp.Fixnum(1)) })
+	def("1+", 1, 1, func(ctx *Ctx, a []Value) (Value, error) { return numAdd(a[0], FixV(1)) })
+	def("1-", 1, 1, func(ctx *Ctx, a []Value) (Value, error) { return numSub(a[0], FixV(1)) })
+	def("add1", 1, 1, func(ctx *Ctx, a []Value) (Value, error) { return numAdd(a[0], FixV(1)) })
+	def("sub1", 1, 1, func(ctx *Ctx, a []Value) (Value, error) { return numSub(a[0], FixV(1)) })
 	def("expt", 2, 2, func(ctx *Ctx, a []Value) (Value, error) {
-		if x, ok := a[0].(sexp.Fixnum); ok {
-			if y, ok := a[1].(sexp.Fixnum); ok && y >= 0 {
-				var acc sexp.Fixnum = 1
-				for i := sexp.Fixnum(0); i < y; i++ {
+		if x, ok := a[0].Fixnum(); ok {
+			if y, ok := a[1].Fixnum(); ok && y >= 0 {
+				var acc int64 = 1
+				for i := int64(0); i < y; i++ {
 					acc *= x
 				}
-				return acc, nil
+				return FixV(acc), nil
 			}
 		}
 		x, okx := toFloat(a[0])
 		y, oky := toFloat(a[1])
 		if !okx || !oky {
-			return nil, Errorf("expt: expected numbers")
+			return Value{}, Errorf("expt: expected numbers")
 		}
-		return sexp.Flonum(math.Pow(x, y)), nil
+		return FloV(math.Pow(x, y)), nil
 	})
 	def("sqrt", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
 		x, ok := toFloat(a[0])
 		if !ok {
-			return nil, Errorf("sqrt: expected number")
+			return Value{}, Errorf("sqrt: expected number")
 		}
-		return sexp.Flonum(math.Sqrt(x)), nil
+		return FloV(math.Sqrt(x)), nil
 	})
 	def("sin", 1, 1, flUnary(math.Sin))
 	def("cos", 1, 1, flUnary(math.Cos))
@@ -346,44 +343,44 @@ func registerNumeric() {
 	def("exact->inexact", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
 		x, ok := toFloat(a[0])
 		if !ok {
-			return nil, Errorf("exact->inexact: expected number")
+			return Value{}, Errorf("exact->inexact: expected number")
 		}
-		return sexp.Flonum(x), nil
+		return FloV(x), nil
 	})
 	def("inexact->exact", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
-		switch t := a[0].(type) {
-		case sexp.Fixnum:
-			return t, nil
-		case sexp.Flonum:
-			return sexp.Fixnum(int64(t)), nil
+		if _, ok := a[0].Fixnum(); ok {
+			return a[0], nil
 		}
-		return nil, Errorf("inexact->exact: expected number")
+		if f, ok := a[0].Flonum(); ok {
+			return FixV(int64(f)), nil
+		}
+		return Value{}, Errorf("inexact->exact: expected number")
 	})
 	def("truncate", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
-		switch t := a[0].(type) {
-		case sexp.Fixnum:
-			return t, nil
-		case sexp.Flonum:
-			return sexp.Flonum(math.Trunc(float64(t))), nil
+		if _, ok := a[0].Fixnum(); ok {
+			return a[0], nil
 		}
-		return nil, Errorf("truncate: expected number")
+		if f, ok := a[0].Flonum(); ok {
+			return FloV(math.Trunc(f)), nil
+		}
+		return Value{}, Errorf("truncate: expected number")
 	})
 	def("floor", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
-		switch t := a[0].(type) {
-		case sexp.Fixnum:
-			return t, nil
-		case sexp.Flonum:
-			return sexp.Flonum(math.Floor(float64(t))), nil
+		if _, ok := a[0].Fixnum(); ok {
+			return a[0], nil
 		}
-		return nil, Errorf("floor: expected number")
+		if f, ok := a[0].Flonum(); ok {
+			return FloV(math.Floor(f)), nil
+		}
+		return Value{}, Errorf("floor: expected number")
 	})
 	cmp := func(name string, ok func(c int) bool) {
 		def(name, 2, -1, func(ctx *Ctx, a []Value) (Value, error) {
 			// Two-fixnum fast path (see "+"): skip the float promotion
 			// dance when both operands are fixnums.
 			if len(a) == 2 {
-				if x, okx := a[0].(sexp.Fixnum); okx {
-					if y, oky := a[1].(sexp.Fixnum); oky {
+				if x, okx := a[0].Fixnum(); okx {
+					if y, oky := a[1].Fixnum(); oky {
 						c := 0
 						if x < y {
 							c = -1
@@ -397,7 +394,7 @@ func registerNumeric() {
 			for i := 0; i+1 < len(a); i++ {
 				c, err := numCompare(a[i], a[i+1])
 				if err != nil {
-					return nil, err
+					return Value{}, err
 				}
 				if c == 2 || !ok(c) {
 					return boolV(false), nil
@@ -417,16 +414,16 @@ func registerNumeric() {
 	def("ash", 2, 2, func(ctx *Ctx, a []Value) (Value, error) {
 		x, err := wantFixnum("ash", a[0])
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		y, err := wantFixnum("ash", a[1])
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		if y >= 0 {
-			return x << uint(y), nil
+			return FixV(x << uint(y)), nil
 		}
-		return x >> uint(-y), nil
+		return FixV(x >> uint(-y)), nil
 	})
 }
 
@@ -434,9 +431,9 @@ func flUnary(f func(float64) float64) Fn {
 	return func(ctx *Ctx, a []Value) (Value, error) {
 		x, ok := toFloat(a[0])
 		if !ok {
-			return nil, Errorf("expected number, got %s", WriteString(a[0]))
+			return Value{}, Errorf("expected number, got %s", WriteString(a[0]))
 		}
-		return sexp.Flonum(f(x)), nil
+		return FloV(f(x)), nil
 	}
 }
 
@@ -444,34 +441,34 @@ func fxBinary(name string, f func(x, y int64) int64) Fn {
 	return func(ctx *Ctx, a []Value) (Value, error) {
 		x, err := wantFixnum(name, a[0])
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		y, err := wantFixnum(name, a[1])
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
-		return sexp.Fixnum(f(int64(x), int64(y))), nil
+		return FixV(f(x, y)), nil
 	}
 }
 
 func divide(a, b Value) (Value, error) {
-	if x, ok := a.(sexp.Fixnum); ok {
-		if y, ok := b.(sexp.Fixnum); ok {
+	if x, ok := a.Fixnum(); ok {
+		if y, ok := b.Fixnum(); ok {
 			if y == 0 {
-				return nil, Errorf("/: division by zero")
+				return Value{}, Errorf("/: division by zero")
 			}
 			if x%y == 0 {
-				return x / y, nil
+				return FixV(x / y), nil
 			}
-			return sexp.Flonum(float64(x) / float64(y)), nil
+			return FloV(float64(x) / float64(y)), nil
 		}
 	}
 	x, okx := toFloat(a)
 	y, oky := toFloat(b)
 	if !okx || !oky {
-		return nil, Errorf("/: expected numbers")
+		return Value{}, Errorf("/: expected numbers")
 	}
-	return sexp.Flonum(x / y), nil
+	return FloV(x / y), nil
 }
 
 func minMax(a []Value, dir int) (Value, error) {
@@ -479,7 +476,7 @@ func minMax(a []Value, dir int) (Value, error) {
 	for _, v := range a[1:] {
 		c, err := numCompare(v, best)
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		if c == dir {
 			best = v
@@ -490,244 +487,219 @@ func minMax(a []Value, dir int) (Value, error) {
 
 func registerVectors() {
 	def("vector", 0, -1, func(ctx *Ctx, a []Value) (Value, error) {
-		items := make([]sexp.Datum, len(a))
-		for i, v := range a {
-			items[i] = asDatum(v)
-		}
-		return &sexp.Vector{Items: items}, nil
+		items := make([]Value, len(a))
+		copy(items, a) // a aliases the VM's argument buffer; the vector must own its storage
+		return VecV(&Vector{Items: items}), nil
 	})
 	def("make-vector", 1, 2, func(ctx *Ctx, a []Value) (Value, error) {
 		n, err := wantFixnum("make-vector", a[0])
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		if n < 0 {
-			return nil, Errorf("make-vector: negative length %d", n)
+			return Value{}, Errorf("make-vector: negative length %d", n)
 		}
-		fill := Value(sexp.Fixnum(0))
+		fill := FixV(0)
 		if len(a) == 2 {
 			fill = a[1]
 		}
-		items := make([]sexp.Datum, n)
+		items := make([]Value, n)
 		for i := range items {
-			items[i] = asDatum(fill)
+			items[i] = fill
 		}
-		return &sexp.Vector{Items: items}, nil
+		return VecV(&Vector{Items: items}), nil
 	})
 	def("vector-length", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
 		v, err := wantVector("vector-length", a[0])
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
-		return sexp.Fixnum(len(v.Items)), nil
+		return FixV(int64(len(v.Items))), nil
 	})
 	def("vector-ref", 2, 2, func(ctx *Ctx, a []Value) (Value, error) {
 		v, err := wantVector("vector-ref", a[0])
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		i, err := wantFixnum("vector-ref", a[1])
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		if i < 0 || int(i) >= len(v.Items) {
-			return nil, Errorf("vector-ref: index %d out of range for length %d", i, len(v.Items))
+			return Value{}, Errorf("vector-ref: index %d out of range for length %d", i, len(v.Items))
 		}
-		return Unwrap(v.Items[i]), nil
+		return v.Items[i], nil
 	})
 	def("vector-set!", 3, 3, func(ctx *Ctx, a []Value) (Value, error) {
 		v, err := wantVector("vector-set!", a[0])
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		i, err := wantFixnum("vector-set!", a[1])
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		if i < 0 || int(i) >= len(v.Items) {
-			return nil, Errorf("vector-set!: index %d out of range for length %d", i, len(v.Items))
+			return Value{}, Errorf("vector-set!: index %d out of range for length %d", i, len(v.Items))
 		}
-		v.Items[i] = asDatum(a[2])
+		v.Items[i] = a[2]
 		return Unspecified, nil
 	})
 	def("vector-fill!", 2, 2, func(ctx *Ctx, a []Value) (Value, error) {
 		v, err := wantVector("vector-fill!", a[0])
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		for i := range v.Items {
-			v.Items[i] = asDatum(a[1])
+			v.Items[i] = a[1]
 		}
 		return Unspecified, nil
 	})
 	def("list->vector", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
-		var items []sexp.Datum
+		var items []Value
 		v := a[0]
 		for {
-			switch t := v.(type) {
-			case sexp.Empty:
-				return &sexp.Vector{Items: items}, nil
-			case *sexp.Pair:
-				items = append(items, asDatum(t.Car))
-				v = t.Cdr
-			default:
-				return nil, Errorf("list->vector: improper list")
+			if v.IsEmpty() {
+				return VecV(&Vector{Items: items}), nil
 			}
+			p, ok := v.Pair()
+			if !ok {
+				return Value{}, Errorf("list->vector: improper list")
+			}
+			items = append(items, p.Car)
+			v = p.Cdr
 		}
 	})
 	def("vector->list", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
 		v, err := wantVector("vector->list", a[0])
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
-		var out sexp.Datum = sexp.Nil
+		out := Empty
 		for i := len(v.Items) - 1; i >= 0; i-- {
-			out = &sexp.Pair{Car: v.Items[i], Cdr: out}
+			out = ctx.Cons(v.Items[i], out)
 		}
 		return out, nil
 	})
-}
-
-// asDatum stores an arbitrary runtime value into a datum slot (pairs and
-// vectors hold sexp.Datum); non-datum values are wrapped.
-func asDatum(v Value) sexp.Datum {
-	if d, ok := v.(sexp.Datum); ok {
-		return d
-	}
-	return opaque{v}
-}
-
-// opaque lets closures and boxes live inside pairs/vectors.
-type opaque struct{ v Value }
-
-func (opaque) Sexp() {}
-func (o opaque) String() string {
-	return WriteString(o.v)
-}
-
-// Unwrap exposes the value stored in a datum slot.
-func Unwrap(d sexp.Datum) Value {
-	if o, ok := d.(opaque); ok {
-		return o.v
-	}
-	return d
 }
 
 func registerStrings() {
 	def("string-length", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
 		s, err := wantString("string-length", a[0])
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
-		return sexp.Fixnum(len(s)), nil
+		return FixV(int64(len(s))), nil
 	})
 	def("string-ref", 2, 2, func(ctx *Ctx, a []Value) (Value, error) {
 		s, err := wantString("string-ref", a[0])
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		i, err := wantFixnum("string-ref", a[1])
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		if i < 0 || int(i) >= len(s) {
-			return nil, Errorf("string-ref: index %d out of range", i)
+			return Value{}, Errorf("string-ref: index %d out of range", i)
 		}
-		return sexp.Char(s[i]), nil
+		return CharV(rune(s[i])), nil
 	})
 	def("string-append", 0, -1, func(ctx *Ctx, a []Value) (Value, error) {
 		var b strings.Builder
 		for _, v := range a {
 			s, err := wantString("string-append", v)
 			if err != nil {
-				return nil, err
+				return Value{}, err
 			}
 			b.WriteString(string(s))
 		}
-		return sexp.Str(b.String()), nil
+		return StrV(sexp.Str(b.String())), nil
 	})
 	def("substring", 3, 3, func(ctx *Ctx, a []Value) (Value, error) {
 		s, err := wantString("substring", a[0])
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		i, err := wantFixnum("substring", a[1])
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		j, err := wantFixnum("substring", a[2])
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		if i < 0 || j < i || int(j) > len(s) {
-			return nil, Errorf("substring: bad range [%d,%d) for length %d", i, j, len(s))
+			return Value{}, Errorf("substring: bad range [%d,%d) for length %d", i, j, len(s))
 		}
-		return s[i:j], nil
+		return StrV(s[i:j]), nil
 	})
 	def("string=?", 2, 2, func(ctx *Ctx, a []Value) (Value, error) {
 		x, err := wantString("string=?", a[0])
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		y, err := wantString("string=?", a[1])
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		return boolV(x == y), nil
 	})
 	def("string<?", 2, 2, func(ctx *Ctx, a []Value) (Value, error) {
 		x, err := wantString("string<?", a[0])
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		y, err := wantString("string<?", a[1])
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		return boolV(x < y), nil
 	})
 	def("symbol->string", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
-		s, ok := a[0].(sexp.Symbol)
+		s, ok := a[0].Symbol()
 		if !ok {
-			return nil, Errorf("symbol->string: expected symbol")
+			return Value{}, Errorf("symbol->string: expected symbol")
 		}
-		return sexp.Str(s), nil
+		return ctx.SymbolString(s), nil
 	})
 	def("string->symbol", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
 		s, err := wantString("string->symbol", a[0])
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
-		return sexp.Symbol(s), nil
+		return SymV(sexp.Symbol(s)), nil
 	})
 	def("number->string", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
-		switch t := a[0].(type) {
-		case sexp.Fixnum, sexp.Flonum:
-			return sexp.Str(t.(sexp.Datum).String()), nil
+		if n, ok := a[0].Fixnum(); ok {
+			return StrV(sexp.Str(strconv.FormatInt(n, 10))), nil
 		}
-		return nil, Errorf("number->string: expected number")
+		if f, ok := a[0].Flonum(); ok {
+			return StrV(sexp.Str(sexp.Flonum(f).String())), nil
+		}
+		return Value{}, Errorf("number->string: expected number")
 	})
 	def("string->number", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
 		s, err := wantString("string->number", a[0])
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		if n, err := strconv.ParseInt(string(s), 10, 64); err == nil {
-			return sexp.Fixnum(n), nil
+			return FixV(n), nil
 		}
 		if f, err := strconv.ParseFloat(string(s), 64); err == nil {
-			return sexp.Flonum(f), nil
+			return FloV(f), nil
 		}
 		return boolV(false), nil
 	})
 	def("string->list", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
 		s, err := wantString("string->list", a[0])
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
-		var out sexp.Datum = sexp.Nil
+		out := Empty
 		for i := len(s) - 1; i >= 0; i-- {
-			out = &sexp.Pair{Car: sexp.Char(s[i]), Cdr: out}
+			out = ctx.Cons(CharV(rune(s[i])), out)
 		}
 		return out, nil
 	})
@@ -735,44 +707,44 @@ func registerStrings() {
 		var b strings.Builder
 		v := a[0]
 		for {
-			switch t := v.(type) {
-			case sexp.Empty:
-				return sexp.Str(b.String()), nil
-			case *sexp.Pair:
-				c, ok := t.Car.(sexp.Char)
-				if !ok {
-					return nil, Errorf("list->string: expected char, got %s", WriteString(t.Car))
-				}
-				b.WriteRune(rune(c))
-				v = t.Cdr
-			default:
-				return nil, Errorf("list->string: improper list")
+			if v.IsEmpty() {
+				return StrV(sexp.Str(b.String())), nil
 			}
+			p, ok := v.Pair()
+			if !ok {
+				return Value{}, Errorf("list->string: improper list")
+			}
+			c, ok := p.Car.Char()
+			if !ok {
+				return Value{}, Errorf("list->string: expected char, got %s", WriteString(p.Car))
+			}
+			b.WriteRune(c)
+			v = p.Cdr
 		}
 	})
 }
 
 func registerChars() {
 	def("char->integer", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
-		c, ok := a[0].(sexp.Char)
+		c, ok := a[0].Char()
 		if !ok {
-			return nil, Errorf("char->integer: expected char")
+			return Value{}, Errorf("char->integer: expected char")
 		}
-		return sexp.Fixnum(c), nil
+		return FixV(int64(c)), nil
 	})
 	def("integer->char", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
 		n, err := wantFixnum("integer->char", a[0])
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
-		return sexp.Char(rune(n)), nil
+		return CharV(rune(n)), nil
 	})
 	charCmp := func(name string, ok func(c int) bool) {
 		def(name, 2, 2, func(ctx *Ctx, a []Value) (Value, error) {
-			x, okx := a[0].(sexp.Char)
-			y, oky := a[1].(sexp.Char)
+			x, okx := a[0].Char()
+			y, oky := a[1].Char()
 			if !okx || !oky {
-				return nil, Errorf("%s: expected chars", name)
+				return Value{}, Errorf("%s: expected chars", name)
 			}
 			c := 0
 			if x < y {
@@ -789,44 +761,44 @@ func registerChars() {
 	charCmp("char<=?", func(c int) bool { return c <= 0 })
 	charCmp("char>=?", func(c int) bool { return c >= 0 })
 	def("char-upcase", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
-		c, ok := a[0].(sexp.Char)
+		c, ok := a[0].Char()
 		if !ok {
-			return nil, Errorf("char-upcase: expected char")
+			return Value{}, Errorf("char-upcase: expected char")
 		}
 		if c >= 'a' && c <= 'z' {
-			return c - 32, nil
+			return CharV(c - 32), nil
 		}
-		return c, nil
+		return a[0], nil
 	})
 	def("char-alphabetic?", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
-		c, ok := a[0].(sexp.Char)
+		c, ok := a[0].Char()
 		if !ok {
-			return nil, Errorf("char-alphabetic?: expected char")
+			return Value{}, Errorf("char-alphabetic?: expected char")
 		}
 		return boolV((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')), nil
 	})
 	def("char-numeric?", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
-		c, ok := a[0].(sexp.Char)
+		c, ok := a[0].Char()
 		if !ok {
-			return nil, Errorf("char-numeric?: expected char")
+			return Value{}, Errorf("char-numeric?: expected char")
 		}
 		return boolV(c >= '0' && c <= '9'), nil
 	})
 }
 
 func registerBoxes() {
-	def("box", 1, 1, func(ctx *Ctx, a []Value) (Value, error) { return &Box{V: a[0]}, nil })
+	def("box", 1, 1, func(ctx *Ctx, a []Value) (Value, error) { return BoxV(&Box{V: a[0]}), nil })
 	def("unbox", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
-		b, ok := a[0].(*Box)
+		b, ok := a[0].Box()
 		if !ok {
-			return nil, Errorf("unbox: expected box, got %s", WriteString(a[0]))
+			return Value{}, Errorf("unbox: expected box, got %s", WriteString(a[0]))
 		}
 		return b.V, nil
 	})
 	def("set-box!", 2, 2, func(ctx *Ctx, a []Value) (Value, error) {
-		b, ok := a[0].(*Box)
+		b, ok := a[0].Box()
 		if !ok {
-			return nil, Errorf("set-box!: expected box, got %s", WriteString(a[0]))
+			return Value{}, Errorf("set-box!: expected box, got %s", WriteString(a[0]))
 		}
 		b.V = a[1]
 		return Unspecified, nil
@@ -853,12 +825,12 @@ func registerIO() {
 		return Unspecified, nil
 	})
 	def("write-char", 1, 1, func(ctx *Ctx, a []Value) (Value, error) {
-		c, ok := a[0].(sexp.Char)
+		c, ok := a[0].Char()
 		if !ok {
-			return nil, Errorf("write-char: expected char")
+			return Value{}, Errorf("write-char: expected char")
 		}
 		if ctx.Out != nil {
-			fmt.Fprint(ctx.Out, string(rune(c)))
+			fmt.Fprint(ctx.Out, string(c))
 		}
 		return Unspecified, nil
 	})
@@ -867,11 +839,15 @@ func registerIO() {
 func registerMisc() {
 	def("error", 1, -1, func(ctx *Ctx, a []Value) (Value, error) {
 		msg := DisplayString(a[0])
-		return nil, &SchemeError{Msg: msg, Irritants: a[1:]}
+		// Copy the irritants: a aliases the VM's reusable argument buffer
+		// and the error outlives this call.
+		irr := make([]Value, len(a)-1)
+		copy(irr, a[1:])
+		return Value{}, &SchemeError{Msg: msg, Irritants: irr}
 	})
 	def("void", 0, 0, func(ctx *Ctx, a []Value) (Value, error) { return Unspecified, nil })
 	def("gensym", 0, 0, func(ctx *Ctx, a []Value) (Value, error) {
 		ctx.gensymCnt++
-		return sexp.Symbol(fmt.Sprintf("g%d", ctx.gensymCnt)), nil
+		return SymV(sexp.Symbol(fmt.Sprintf("g%d", ctx.gensymCnt))), nil
 	})
 }

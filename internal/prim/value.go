@@ -1,0 +1,416 @@
+package prim
+
+// The tagged value representation. A Value is two machine words: a
+// payload word w carrying a 3-bit tag plus a 61-bit immediate payload,
+// and a pointer word p carrying the heap object (or kind token) for
+// everything that does not fit in an immediate. Fixnums, booleans,
+// characters, the empty list and VM return addresses are immediates:
+// p == nil and the value lives entirely in w, so moving one between
+// registers, stack slots and primitive arguments never allocates. The
+// previous representation (Value = interface{}) heap-boxed every fixnum
+// outside the Go runtime's tiny static cache, which made interface
+// boxing the VM's dominant allocation site (DESIGN.md §12).
+//
+// Layout of w for immediates (p == nil):
+//
+//	bits 0..2   tag (tagNone, tagFixnum, tagBool, tagChar, tagEmpty, tagRet)
+//	bits 3..63  payload, tag-specific:
+//	              tagFixnum  signed 61-bit integer (int64(w) >> 3)
+//	              tagBool    0 = #f, 1 = #t
+//	              tagChar    signed rune (same encoding as fixnum)
+//	              tagRet     pc in bits 3..32, fp in bits 33..62
+//	              tagNone    unused (the zero Value: "no value here")
+//	              tagEmpty   unused
+//
+// When p != nil, w is meaningful in exactly one case: flonums, where p
+// is the shared flonum kind token and w holds math.Float64bits of the
+// value — so flonums are unboxed too (no allocation, token is shared).
+// Every other p is the value itself: sexp.Symbol and sexp.Str
+// (interface-boxed once at construction, compared by value), *Pair,
+// *Vector, *Box, *fixBox (a fixnum outside the 61-bit immediate range),
+// and procedure objects (anything implementing Procedure).
+//
+// Encoding invariant: a fixnum inside the 61-bit range is ALWAYS the
+// immediate form and one outside it is ALWAYS a *fixBox, so every int64
+// has exactly one representation and Eqv on fixnums stays a word
+// compare plus one boxed fallback.
+
+import (
+	"math"
+
+	"repro/internal/sexp"
+)
+
+// Value is a runtime value in the tagged two-word representation. The
+// zero Value is "no value" (an unset register, global or result); it is
+// distinct from every Scheme value including #f and the empty list.
+type Value struct {
+	w uint64
+	p any
+}
+
+// Immediate tags (the low three bits of w when p == nil).
+const (
+	tagNone uint64 = iota
+	tagFixnum
+	tagBool
+	tagChar
+	tagEmpty
+	tagRet
+)
+
+const tagMask uint64 = 7
+
+// FixMin and FixMax bound the immediate (unboxed) fixnum range. Values
+// outside it are still exact integers — they carry the full int64 in a
+// heap box — so arithmetic semantics are unchanged; only representation
+// differs.
+const (
+	FixMin int64 = -1 << 60
+	FixMax int64 = 1<<60 - 1
+)
+
+// fixBox is the boxed fallback for fixnums outside the immediate range.
+type fixBox int64
+
+// floKind is the shared kind token marking a flonum (p == floToken, w ==
+// Float64bits). It is a distinct unexported type so no heap object can
+// collide with it.
+type floKind struct{}
+
+var floToken any = &floKind{}
+
+// Canonical immediates.
+var (
+	// True and False are the boolean immediates.
+	True  = Value{w: 1<<3 | tagBool}
+	False = Value{w: tagBool}
+	// Empty is the empty list ().
+	Empty = Value{w: tagEmpty}
+)
+
+// FixV encodes an int64 as a fixnum: immediate when it fits in 61 bits,
+// boxed otherwise (see the encoding invariant above).
+func FixV(n int64) Value {
+	if n >= FixMin && n <= FixMax {
+		return Value{w: uint64(n)<<3 | tagFixnum}
+	}
+	b := fixBox(n)
+	return Value{p: &b}
+}
+
+// FloV encodes a float64 as an unboxed flonum.
+func FloV(f float64) Value {
+	return Value{w: math.Float64bits(f), p: floToken}
+}
+
+// BoolV encodes a boolean.
+func BoolV(b bool) Value {
+	if b {
+		return True
+	}
+	return False
+}
+
+// CharV encodes a character.
+func CharV(r rune) Value {
+	return Value{w: uint64(int64(r))<<3 | tagChar}
+}
+
+// SymV encodes a symbol (interface-boxed once here; copies are free).
+func SymV(s sexp.Symbol) Value { return Value{p: s} }
+
+// StrV encodes a string.
+func StrV(s sexp.Str) Value { return Value{p: s} }
+
+// PairV wraps an existing pair cell.
+func PairV(p *Pair) Value { return Value{p: p} }
+
+// VecV wraps an existing vector.
+func VecV(v *Vector) Value { return Value{p: v} }
+
+// BoxV wraps an existing box cell.
+func BoxV(b *Box) Value { return Value{p: b} }
+
+// ObjV wraps a heap object (a procedure implementation, a sentinel). It
+// must not be used for values that have a dedicated constructor.
+func ObjV(o any) Value { return Value{p: o} }
+
+// retPayloadBits is the width of each MakeRet component: pc and fp each
+// get 30 bits of the 61-bit immediate payload.
+const retPayloadBits = 30
+
+// MakeRet packs a VM return point (code address, frame pointer) into an
+// immediate. ok is false when either component is out of range; the VM
+// falls back to a boxed representation then, so a hostile frame pointer
+// cannot corrupt the packing.
+func MakeRet(pc, fp int) (Value, bool) {
+	if uint64(pc) >= 1<<retPayloadBits || uint64(fp) >= 1<<retPayloadBits {
+		return Value{}, false
+	}
+	return Value{w: uint64(pc)<<3 | uint64(fp)<<(3+retPayloadBits) | tagRet}, true
+}
+
+// Ret unpacks an immediate return point.
+func (v Value) Ret() (pc, fp int, ok bool) {
+	if v.p != nil || v.w&tagMask != tagRet {
+		return 0, 0, false
+	}
+	payload := v.w >> 3
+	return int(payload & (1<<retPayloadBits - 1)), int(payload >> retPayloadBits), true
+}
+
+// IsNone reports the zero Value ("no value here").
+func (v Value) IsNone() bool { return v.p == nil && v.w == 0 }
+
+// Fixnum decodes a fixnum (immediate or boxed).
+func (v Value) Fixnum() (int64, bool) {
+	if v.p == nil {
+		return int64(v.w) >> 3, v.w&tagMask == tagFixnum
+	}
+	return v.fixnumBoxed()
+}
+
+func (v Value) fixnumBoxed() (int64, bool) {
+	if b, ok := v.p.(*fixBox); ok {
+		return int64(*b), true
+	}
+	return 0, false
+}
+
+// BoxedFixnum reports whether v is a fixnum in the boxed (out-of-range)
+// representation. Exposed for the round-trip tests of the encoding
+// invariant.
+func (v Value) BoxedFixnum() bool {
+	_, ok := v.fixnumBoxed()
+	return ok
+}
+
+// Flonum decodes a flonum.
+func (v Value) Flonum() (float64, bool) {
+	if v.p == floToken {
+		return math.Float64frombits(v.w), true
+	}
+	return 0, false
+}
+
+// IsBool reports whether v is a boolean.
+func (v Value) IsBool() bool { return v.p == nil && v.w&tagMask == tagBool }
+
+// Bool decodes a boolean.
+func (v Value) Bool() (bool, bool) {
+	if !v.IsBool() {
+		return false, false
+	}
+	return v.w>>3 != 0, true
+}
+
+// Char decodes a character.
+func (v Value) Char() (rune, bool) {
+	if v.p != nil || v.w&tagMask != tagChar {
+		return 0, false
+	}
+	return rune(int64(v.w) >> 3), true
+}
+
+// IsEmpty reports the empty list.
+func (v Value) IsEmpty() bool { return v.p == nil && v.w&tagMask == tagEmpty }
+
+// Symbol decodes a symbol.
+func (v Value) Symbol() (sexp.Symbol, bool) {
+	s, ok := v.p.(sexp.Symbol)
+	return s, ok
+}
+
+// Str decodes a string.
+func (v Value) Str() (sexp.Str, bool) {
+	s, ok := v.p.(sexp.Str)
+	return s, ok
+}
+
+// Pair decodes a pair cell.
+func (v Value) Pair() (*Pair, bool) {
+	p, ok := v.p.(*Pair)
+	return p, ok
+}
+
+// Vector decodes a vector.
+func (v Value) Vector() (*Vector, bool) {
+	p, ok := v.p.(*Vector)
+	return p, ok
+}
+
+// Box decodes a box cell.
+func (v Value) Box() (*Box, bool) {
+	b, ok := v.p.(*Box)
+	return b, ok
+}
+
+// Heap exposes the pointer word for kind dispatch on heap values (the
+// VM's procedure-application switch). It is nil for every immediate.
+func (v Value) Heap() any { return v.p }
+
+// IsNumber reports fixnums (either form) and flonums.
+func (v Value) IsNumber() bool {
+	if v.p == nil {
+		return v.w&tagMask == tagFixnum
+	}
+	if v.p == floToken {
+		return true
+	}
+	_, wide := v.p.(*fixBox)
+	return wide
+}
+
+// Pair is a cons cell over runtime values. Cells come from a machine's
+// Arena on the VM hot path and from the ordinary heap elsewhere.
+type Pair struct {
+	Car Value
+	Cdr Value
+}
+
+// Vector is a runtime vector.
+type Vector struct {
+	Items []Value
+}
+
+// FromDatum converts reader/compile-time data (sexp.Datum) to a runtime
+// Value, deep-copying pairs and vectors: each call yields structure the
+// caller owns exclusively, which is what quoted-constant evaluation
+// requires (fresh pairs per evaluation, matching the VM's const-copy
+// semantics).
+func FromDatum(d sexp.Datum) Value {
+	switch t := d.(type) {
+	case sexp.Fixnum:
+		return FixV(int64(t))
+	case sexp.Flonum:
+		return FloV(float64(t))
+	case sexp.Boolean:
+		return BoolV(bool(t))
+	case sexp.Char:
+		return CharV(rune(t))
+	case sexp.Symbol:
+		return Value{p: t}
+	case sexp.Str:
+		return Value{p: t}
+	case sexp.Empty:
+		return Empty
+	case *sexp.Pair:
+		return Value{p: &Pair{Car: FromDatum(t.Car), Cdr: FromDatum(t.Cdr)}}
+	case *sexp.Vector:
+		items := make([]Value, len(t.Items))
+		for i, it := range t.Items {
+			items[i] = FromDatum(it)
+		}
+		return Value{p: &Vector{Items: items}}
+	case nil:
+		return Value{}
+	default:
+		panic("prim: FromDatum: unknown datum kind")
+	}
+}
+
+// CopyTree deep-copies the mutable structure of v (pairs and vectors),
+// drawing pair cells from a when non-nil. Immediates and immutable heap
+// values are returned as-is.
+func CopyTree(a *Arena, v Value) Value {
+	switch t := v.p.(type) {
+	case *Pair:
+		return Value{p: a.NewPair(CopyTree(a, t.Car), CopyTree(a, t.Cdr))}
+	case *Vector:
+		items := make([]Value, len(t.Items))
+		for i, it := range t.Items {
+			items[i] = CopyTree(a, it)
+		}
+		return Value{p: &Vector{Items: items}}
+	default:
+		return v
+	}
+}
+
+// arenaChunk is the number of pair cells per arena slab: large enough
+// that slab allocation is rare, small enough that a mostly-idle machine
+// does not pin much memory.
+const arenaChunk = 512
+
+// Arena is a chunked free-list allocator for pair cells, owned by one
+// machine (it is NOT safe for concurrent use). Cells are handed out
+// slab-by-slab, so a cons costs a bump-pointer increment instead of a
+// heap allocation; Recycle returns every slab to the free list for the
+// owner's next run.
+//
+// Lifetime contract: every pair allocated from an Arena remains valid
+// until Recycle is called on it. Recycle invalidates ALL of them at
+// once — including pairs reachable from a previous Run's result value
+// or from global cells — so the owner must only recycle between runs
+// whose values it no longer needs. A nil *Arena is valid and falls back
+// to ordinary heap allocation (the reference interpreter runs with
+// none, keeping the oracle independent of arena bugs).
+type Arena struct {
+	cur  []Pair
+	n    int
+	used [][]Pair
+	free [][]Pair
+}
+
+// NewPair allocates a cell. Safe on a nil receiver (plain heap).
+func (a *Arena) NewPair(car, cdr Value) *Pair {
+	if a == nil {
+		return &Pair{Car: car, Cdr: cdr}
+	}
+	if a.n == len(a.cur) {
+		a.grow()
+	}
+	p := &a.cur[a.n]
+	a.n++
+	p.Car, p.Cdr = car, cdr
+	return p
+}
+
+func (a *Arena) grow() {
+	if a.cur != nil {
+		a.used = append(a.used, a.cur)
+	}
+	if k := len(a.free); k > 0 {
+		a.cur = a.free[k-1]
+		a.free = a.free[:k-1]
+	} else {
+		a.cur = make([]Pair, arenaChunk)
+	}
+	a.n = 0
+}
+
+// Recycle returns every slab to the free list for reuse, zeroing the
+// cells so recycled slabs do not pin garbage. See the lifetime contract
+// on Arena. Safe on a nil receiver (no-op).
+func (a *Arena) Recycle() {
+	if a == nil {
+		return
+	}
+	if a.cur != nil {
+		a.used = append(a.used, a.cur)
+		a.cur, a.n = nil, 0
+	}
+	for _, c := range a.used {
+		for i := range c {
+			c[i] = Pair{}
+		}
+		a.free = append(a.free, c)
+	}
+	a.used = a.used[:0]
+}
+
+// Live reports the number of cells handed out since the last Recycle
+// (diagnostics and tests).
+func (a *Arena) Live() int {
+	if a == nil {
+		return 0
+	}
+	return len(a.used)*arenaChunk + a.n
+}
+
+// Cons allocates a pair from the context's arena (plain heap when the
+// context has none).
+func (ctx *Ctx) Cons(car, cdr Value) Value {
+	return Value{p: ctx.Arena.NewPair(car, cdr)}
+}

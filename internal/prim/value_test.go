@@ -1,0 +1,349 @@
+package prim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sexp"
+)
+
+// TestTagRoundTrip is the property-test battery for the tagged value
+// encoding: every immediate kind must decode back to exactly the value
+// it was encoded from, out-of-range fixnums must take (only) the boxed
+// fallback, and no encoding may be confused for another tag.
+
+func TestTagRoundTripFixnum(t *testing.T) {
+	// Identity over the full int64 domain, randomized.
+	roundTrip := func(n int64) bool {
+		v := FixV(n)
+		got, ok := v.Fixnum()
+		if !ok || got != n {
+			return false
+		}
+		// Encoding invariant: in-range is always immediate, out-of-range
+		// is always boxed.
+		inRange := n >= FixMin && n <= FixMax
+		return v.BoxedFixnum() == !inRange
+	}
+	if err := quick.Check(roundTrip, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+
+	// The boundaries the randomized sweep is unlikely to hit exactly.
+	for _, n := range []int64{
+		0, 1, -1, 42, -42,
+		FixMin, FixMin + 1, FixMin - 1,
+		FixMax, FixMax - 1, FixMax + 1,
+		math.MinInt64, math.MinInt64 + 1,
+		math.MaxInt64, math.MaxInt64 - 1,
+	} {
+		if !roundTrip(n) {
+			v := FixV(n)
+			got, ok := v.Fixnum()
+			t.Errorf("FixV(%d): decode = (%d, %v), boxed = %v", n, got, ok, v.BoxedFixnum())
+		}
+	}
+}
+
+func TestTagRoundTripFixnumEqv(t *testing.T) {
+	// Eqv must hold across fresh encodings in both representations.
+	for _, n := range []int64{0, -7, FixMax, FixMax + 1, math.MinInt64} {
+		if !Eqv(FixV(n), FixV(n)) {
+			t.Errorf("Eqv(FixV(%d), FixV(%d)) = false", n, n)
+		}
+		if Eqv(FixV(n), FixV(n+1)) {
+			t.Errorf("Eqv(FixV(%d), FixV(%d)) = true", n, n+1)
+		}
+	}
+	// Immediate fixnums are word-comparable Go values.
+	if FixV(5) != FixV(5) {
+		t.Error("immediate fixnums should be == as Go values")
+	}
+}
+
+func TestTagRoundTripChar(t *testing.T) {
+	// Every Unicode code point (and then some: the full surrogate range
+	// too, since Scheme chars are just code points to this VM).
+	for r := rune(0); r <= 0x10FFFF; r++ {
+		v := CharV(r)
+		got, ok := v.Char()
+		if !ok || got != r {
+			t.Fatalf("CharV(%#x): decode = (%#x, %v)", r, got, ok)
+		}
+		if v.Heap() != nil {
+			t.Fatalf("CharV(%#x) is not immediate", r)
+		}
+	}
+	// Chars never read as fixnums or booleans.
+	v := CharV('a')
+	if _, ok := v.Fixnum(); ok {
+		t.Error("char decoded as fixnum")
+	}
+	if v.IsBool() || v.IsEmpty() || v.IsNone() {
+		t.Error("char confused with another immediate tag")
+	}
+}
+
+func TestTagRoundTripBoolEmptyNone(t *testing.T) {
+	for _, b := range []bool{false, true} {
+		v := BoolV(b)
+		got, ok := v.Bool()
+		if !ok || got != b {
+			t.Errorf("BoolV(%v): decode = (%v, %v)", b, got, ok)
+		}
+	}
+	if True == False {
+		t.Error("#t and #f encode identically")
+	}
+	if !Empty.IsEmpty() {
+		t.Error("Empty does not report IsEmpty")
+	}
+	if !(Value{}).IsNone() {
+		t.Error("zero Value does not report IsNone")
+	}
+	// The four no-payload immediates are pairwise distinct.
+	distinct := []Value{True, False, Empty, {}}
+	for i := range distinct {
+		for j := i + 1; j < len(distinct); j++ {
+			if distinct[i] == distinct[j] {
+				t.Errorf("immediates %d and %d collide", i, j)
+			}
+		}
+	}
+	// #f is falsy; every other immediate (including the zero Value, which
+	// mirrors the old untyped-nil behavior) is truthy.
+	if Truthy(False) {
+		t.Error("#f should be falsy")
+	}
+	for _, v := range []Value{True, Empty, {}, FixV(0), CharV(0)} {
+		if !Truthy(v) {
+			t.Errorf("%#v should be truthy", v)
+		}
+	}
+}
+
+func TestTagRoundTripFlonum(t *testing.T) {
+	roundTrip := func(f float64) bool {
+		got, ok := FloV(f).Flonum()
+		return ok && math.Float64bits(got) == math.Float64bits(f)
+	}
+	if err := quick.Check(roundTrip, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+	for _, f := range []float64{0, math.Copysign(0, -1), math.Inf(1), math.Inf(-1), math.NaN(), math.MaxFloat64, math.SmallestNonzeroFloat64} {
+		if !roundTrip(f) {
+			t.Errorf("FloV(%v) does not round-trip", f)
+		}
+	}
+	// Flonums are unboxed: no per-value heap object, just the shared token.
+	if FloV(1.5).Heap() != FloV(2.5).Heap() {
+		t.Error("flonums should share one kind token")
+	}
+	// Eqv semantics survive the bit-packing: NaN != NaN, -0.0 == 0.0.
+	if Eqv(FloV(math.NaN()), FloV(math.NaN())) {
+		t.Error("Eqv(NaN, NaN) should be false")
+	}
+	if !Eqv(FloV(0), FloV(math.Copysign(0, -1))) {
+		t.Error("Eqv(0.0, -0.0) should be true")
+	}
+	// A flonum is not a fixnum even when w happens to carry a fixnum tag
+	// pattern (p disambiguates).
+	if _, ok := FloV(math.Float64frombits(uint64(9)<<3 | 1)).Fixnum(); ok {
+		t.Error("flonum decoded as fixnum")
+	}
+}
+
+func TestTagRoundTripRet(t *testing.T) {
+	roundTrip := func(pc, fp uint32) bool {
+		pcIn, fpIn := int(pc)&(1<<retPayloadBits-1), int(fp)&(1<<retPayloadBits-1)
+		v, ok := MakeRet(pcIn, fpIn)
+		if !ok {
+			return false
+		}
+		pcOut, fpOut, ok := v.Ret()
+		return ok && pcOut == pcIn && fpOut == fpIn
+	}
+	if err := quick.Check(roundTrip, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+	// Extremes of the packable range.
+	lim := 1<<retPayloadBits - 1
+	for _, c := range [][2]int{{0, 0}, {lim, 0}, {0, lim}, {lim, lim}} {
+		v, ok := MakeRet(c[0], c[1])
+		if !ok {
+			t.Fatalf("MakeRet(%d, %d) refused an in-range point", c[0], c[1])
+		}
+		pc, fp, ok := v.Ret()
+		if !ok || pc != c[0] || fp != c[1] {
+			t.Errorf("MakeRet(%d, %d) round-trips to (%d, %d, %v)", c[0], c[1], pc, fp, ok)
+		}
+	}
+	// Out-of-range components must be refused (the VM then boxes).
+	for _, c := range [][2]int{{lim + 1, 0}, {0, lim + 1}, {-1, 0}, {0, -1}} {
+		if _, ok := MakeRet(c[0], c[1]); ok {
+			t.Errorf("MakeRet(%d, %d) should be out of range", c[0], c[1])
+		}
+	}
+	// A return point is not a fixnum, boolean or char.
+	v, _ := MakeRet(17, 3)
+	if _, ok := v.Fixnum(); ok {
+		t.Error("ret decoded as fixnum")
+	}
+	if v.IsBool() || v.IsEmpty() || v.IsNone() {
+		t.Error("ret confused with another immediate tag")
+	}
+}
+
+func TestTagHeapKindsDoNotDecodeAsImmediates(t *testing.T) {
+	heapValues := []Value{
+		SymV("sym"), StrV("str"),
+		PairV(&Pair{Car: FixV(1), Cdr: Empty}),
+		VecV(&Vector{Items: []Value{FixV(1)}}),
+		BoxV(&Box{V: FixV(1)}),
+		FixV(math.MaxInt64), // boxed fixnum: Heap() non-nil but IS a number
+	}
+	for _, v := range heapValues {
+		if v.Heap() == nil {
+			t.Errorf("%#v should carry a heap pointer", v)
+		}
+		if v.IsBool() || v.IsEmpty() || v.IsNone() {
+			t.Errorf("%#v confused with a no-payload immediate", v)
+		}
+		if _, ok := v.Char(); ok {
+			t.Errorf("%#v decoded as char", v)
+		}
+		if _, _, ok := v.Ret(); ok {
+			t.Errorf("%#v decoded as ret", v)
+		}
+	}
+	if _, ok := SymV("sym").Fixnum(); ok {
+		t.Error("symbol decoded as fixnum")
+	}
+}
+
+func TestFromDatumCopiesStructure(t *testing.T) {
+	// FromDatum is exercised indirectly by every compile; here just pin
+	// the canonical-encoding property at the conversion boundary.
+	v := FixV(FixMax + 1)
+	if !v.BoxedFixnum() {
+		t.Fatal("expected boxed")
+	}
+	got, ok := v.Fixnum()
+	if !ok || got != FixMax+1 {
+		t.Errorf("boxed decode = (%d, %v)", got, ok)
+	}
+}
+
+func TestArenaRecycle(t *testing.T) {
+	a := &Arena{}
+	// Fill more than one slab, remembering the cells.
+	const n = arenaChunk + 17
+	cells := make([]*Pair, n)
+	for i := 0; i < n; i++ {
+		cells[i] = a.NewPair(FixV(int64(i)), Empty)
+	}
+	if a.Live() != n {
+		t.Errorf("Live = %d, want %d", a.Live(), n)
+	}
+	for i, c := range cells {
+		if car, _ := c.Car.Fixnum(); car != int64(i) {
+			t.Fatalf("cell %d corrupted before recycle", i)
+		}
+	}
+	a.Recycle()
+	if a.Live() != 0 {
+		t.Errorf("Live after Recycle = %d", a.Live())
+	}
+	// Recycled cells are zeroed (no pinned garbage) ...
+	for _, c := range cells {
+		if !c.Car.IsNone() || !c.Cdr.IsNone() {
+			t.Fatal("recycle did not zero cells")
+		}
+	}
+	// ... and the slabs are reused: allocating again returns the same
+	// backing cells instead of growing.
+	reused := a.NewPair(FixV(-1), Empty)
+	found := false
+	for _, c := range cells {
+		if c == reused {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("recycled slab not reused by the next allocation")
+	}
+
+	// A nil arena falls back to plain heap allocation.
+	var nilA *Arena
+	p := nilA.NewPair(FixV(1), FixV(2))
+	if car, _ := p.Car.Fixnum(); car != 1 {
+		t.Error("nil-arena NewPair broken")
+	}
+	nilA.Recycle() // must not panic
+	if nilA.Live() != 0 {
+		t.Error("nil-arena Live should be 0")
+	}
+}
+
+func TestCopyTreeUsesArena(t *testing.T) {
+	a := &Arena{}
+	orig := PairV(&Pair{Car: FixV(1), Cdr: PairV(&Pair{Car: FixV(2), Cdr: Empty})})
+	cp := CopyTree(a, orig)
+	if Eqv(orig, cp) {
+		t.Error("copy should be a distinct pair")
+	}
+	if !Equal(orig, cp) {
+		t.Error("copy should be structurally equal")
+	}
+	if a.Live() != 2 {
+		t.Errorf("copy of 2 pairs drew %d arena cells", a.Live())
+	}
+	// Mutating the copy leaves the original untouched.
+	cpp, _ := cp.Pair()
+	cpp.Car = FixV(99)
+	op, _ := orig.Pair()
+	if car, _ := op.Car.Fixnum(); car != 1 {
+		t.Error("copy aliases the original")
+	}
+}
+
+// TestSymbolStringIntern pins the symbol->string intern cache: the
+// boxed string for a symbol is built once per Ctx, repeat conversions
+// hit the cache, the cache is capacity-bounded, and a nil Ctx still
+// converts (uncached) rather than panicking.
+func TestSymbolStringIntern(t *testing.T) {
+	c := &Ctx{}
+	v1 := c.SymbolString("alpha")
+	if s, ok := v1.Str(); !ok || string(s) != "alpha" {
+		t.Fatalf("SymbolString(alpha) = %v", v1)
+	}
+	if len(c.symStr) != 1 {
+		t.Fatalf("cache size = %d, want 1", len(c.symStr))
+	}
+	v2 := c.SymbolString("alpha")
+	if v1 != v2 {
+		t.Errorf("repeat conversion not interned: %v vs %v", v1, v2)
+	}
+	if len(c.symStr) != 1 {
+		t.Errorf("cache grew on repeat conversion: %d", len(c.symStr))
+	}
+
+	// Fill to the cap: conversions past it still work but stop caching.
+	for i := 0; len(c.symStr) < symStrCap; i++ {
+		c.SymbolString(sexp.Symbol(sexp.Str("s") + sexp.Str(rune('a'+i%26)) + sexp.Str(rune('0'+i/26%10)) + sexp.Str(rune('0'+i/260))))
+	}
+	over := c.SymbolString("overflow-sym")
+	if s, ok := over.Str(); !ok || string(s) != "overflow-sym" {
+		t.Fatalf("post-cap conversion = %v", over)
+	}
+	if len(c.symStr) != symStrCap {
+		t.Errorf("cache exceeded cap: %d > %d", len(c.symStr), symStrCap)
+	}
+
+	var nilCtx *Ctx
+	if s, ok := nilCtx.SymbolString("nilcase").Str(); !ok || string(s) != "nilcase" {
+		t.Errorf("nil-Ctx conversion failed")
+	}
+}

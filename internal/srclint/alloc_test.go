@@ -1,6 +1,7 @@
 package srclint
 
 import (
+	"os"
 	"strings"
 	"testing"
 )
@@ -159,6 +160,55 @@ func TestNewBaselinePreservesNotes(t *testing.T) {
 		if strings.HasSuffix(s.File, "machine.go") && s.Note != "test justification" {
 			t.Errorf("note lost on refresh: %+v", s)
 		}
+	}
+}
+
+// TestRealBaselineReportsReintroducedBoxing runs the diff against the
+// COMMITTED ALLOC_BASELINE.json (not a synthetic corpus): it simulates
+// a hot-path regression by re-adding an interface-boxing escape that
+// the tagged value representation removed ("xn + yn escapes to heap"
+// was a real pre-overhaul site) and requires the gate to fire. This is
+// the proof that the shrunken baseline actually protects the win: a
+// PR that reintroduces per-result boxing in the dispatch loop cannot
+// pass lsrvet.
+func TestRealBaselineReportsReintroducedBoxing(t *testing.T) {
+	data, err := os.ReadFile("../../ALLOC_BASELINE.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := ReadBaseline(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultAllocConfig()
+	cur := append([]AllocSite(nil), base.Sites...)
+	boxing := AllocSite{
+		File:    "internal/vm/exec.go",
+		Message: "xn + yn escapes to heap",
+		Count:   2,
+		line:    314,
+	}
+	cur = append(cur, boxing)
+	sortSites(cur)
+
+	fs, stale, err := DiffAlloc(base, cur, base.GoVersion, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stale) != 0 {
+		t.Errorf("unexpected stale entries: %v", stale)
+	}
+	if len(fs) != 1 || fs[0].Kind != "new-heap-escape" {
+		t.Fatalf("expected exactly one new-heap-escape, got %+v", fs)
+	}
+	if !strings.Contains(fs[0].Msg, "xn + yn escapes to heap") {
+		t.Errorf("finding does not name the boxing site: %q", fs[0].Msg)
+	}
+
+	// Sanity: the committed baseline itself must diff clean against its
+	// own sites (no unjustified machine.go/value.go entries survive).
+	if fs, _, err := DiffAlloc(base, base.Sites, base.GoVersion, cfg); err != nil || len(fs) != 0 {
+		t.Fatalf("committed baseline not self-clean: err=%v findings=%+v", err, fs)
 	}
 }
 

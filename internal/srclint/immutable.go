@@ -27,6 +27,7 @@ package srclint
 import (
 	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
 
 	"repro/internal/findings"
@@ -42,17 +43,28 @@ type ImmutabilityConfig struct {
 	// "repro/internal/codegen.Compile"). A closure inherits the
 	// enclosing declaration's name.
 	Allow []string
+	// Forbid lists fully-qualified named types that must never be
+	// reachable from the protected type's fields through any chain of
+	// struct fields, pointers, slices, arrays, or maps. This is the
+	// static form of the arena-ownership contract: a prim.Arena is
+	// per-Machine mutable state, so a path from the shared Program to an
+	// Arena would make arena recycling a data race even though no code
+	// writes a Program field.
+	Forbid []string
 }
 
 // DefaultImmutabilityConfig protects vm.Program. The only allowed
 // writer is the engine() decode-cache initializer, which is guarded by
 // sync.Once and therefore safe under the sharing contract. The codegen
 // constructor builds the Program in one composite literal and never
-// writes through it afterwards, so it needs no entry.
+// writes through it afterwards, so it needs no entry. The pair arena is
+// forbidden from being reachable at all: it belongs to exactly one
+// Machine.
 func DefaultImmutabilityConfig() ImmutabilityConfig {
 	return ImmutabilityConfig{
-		Type:  "repro/internal/vm.Program",
-		Allow: []string{"(*repro/internal/vm.Program).engine"},
+		Type:   "repro/internal/vm.Program",
+		Allow:  []string{"(*repro/internal/vm.Program).engine"},
+		Forbid: []string{"repro/internal/prim.Arena"},
 	}
 }
 
@@ -73,7 +85,118 @@ func CheckImmutability(root string, pkgs []*Pkg, cfg ImmutabilityConfig) []findi
 		}
 		fs = append(fs, c.found...)
 	}
+	fs = append(fs, checkReachability(root, pkgs, cfg)...)
 	return fs
+}
+
+// checkReachability proves that none of cfg.Forbid is reachable from
+// the protected type's fields: it walks the field-type graph (structs,
+// pointers, slices, arrays, maps) breadth-first from the protected
+// struct and reports the access path to any forbidden type it reaches.
+// Interfaces are opaque to the walk (a dynamic value could hide
+// anything, but storing per-machine state behind an interface field of
+// Program would already be a write-path violation), so the analyzer's
+// claim is about the declared structure.
+func checkReachability(root string, pkgs []*Pkg, cfg ImmutabilityConfig) []findings.Finding {
+	if len(cfg.Forbid) == 0 {
+		return nil
+	}
+	forbidden := map[string]bool{}
+	for _, name := range cfg.Forbid {
+		forbidden[name] = true
+	}
+	var fs []findings.Finding
+	for _, pkg := range pkgs {
+		named := lookupNamed(pkg, cfg.Type)
+		if named == nil {
+			continue
+		}
+		w := &reachWalk{root: root, pkg: pkg, forbidden: forbidden, seen: map[*types.Named]bool{}}
+		w.walkNamed(named, cfg.Type, named.Obj().Pos())
+		fs = append(fs, w.found...)
+	}
+	return fs
+}
+
+// lookupNamed resolves a fully-qualified type name inside pkg's scope,
+// returning nil when pkg does not define it.
+func lookupNamed(pkg *Pkg, full string) *types.Named {
+	dot := lastDot(full)
+	if dot < 0 || pkg.Path != full[:dot] {
+		return nil
+	}
+	obj := pkg.Types.Scope().Lookup(full[dot+1:])
+	if obj == nil {
+		return nil
+	}
+	named, _ := types.Unalias(obj.Type()).(*types.Named)
+	return named
+}
+
+func lastDot(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '.' {
+			return i
+		}
+	}
+	return -1
+}
+
+type reachWalk struct {
+	root      string
+	pkg       *Pkg
+	forbidden map[string]bool
+	seen      map[*types.Named]bool
+	found     []findings.Finding
+}
+
+// walkNamed expands a named type's underlying struct, if any.
+func (w *reachWalk) walkNamed(n *types.Named, path string, at token.Pos) {
+	if w.seen[n] {
+		return
+	}
+	w.seen[n] = true
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		w.walkType(f.Type(), path+"."+f.Name(), f.Pos())
+	}
+}
+
+// walkType follows one field type through containers to named types.
+func (w *reachWalk) walkType(t types.Type, path string, at token.Pos) {
+	switch u := types.Unalias(t).(type) {
+	case *types.Pointer:
+		w.walkType(u.Elem(), path, at)
+	case *types.Slice:
+		w.walkType(u.Elem(), path, at)
+	case *types.Array:
+		w.walkType(u.Elem(), path, at)
+	case *types.Map:
+		w.walkType(u.Key(), path, at)
+		w.walkType(u.Elem(), path, at)
+	case *types.Named:
+		if obj := u.Obj(); obj.Pkg() != nil && w.forbidden[obj.Pkg().Path()+"."+obj.Name()] {
+			file, line := position(w.root, w.pkg.Fset, at)
+			w.found = append(w.found, findings.Finding{
+				Tool: "srclint", Kind: "arena-reachable",
+				File: file, Line: line,
+				PC: -1, Reg: -1, Slot: -1, CallPC: -1,
+				Msg: fmt.Sprintf("forbidden type %s.%s is reachable from the shared program as %s: per-machine mutable state must not hang off a type shared by concurrent machines",
+					obj.Pkg().Path(), obj.Name(), path),
+			})
+			return
+		}
+		w.walkNamed(u, path, at)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			w.walkType(f.Type(), path+"."+f.Name(), f.Pos())
+		}
+	}
 }
 
 type immutCheck struct {

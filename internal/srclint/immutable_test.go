@@ -118,6 +118,81 @@ func TestImmutabilityAllowlist(t *testing.T) {
 	}
 }
 
+// TestArenaReachability seeds the violation the Forbid config exists
+// for: a per-machine Arena reachable from the shared Program, here
+// buried two hops deep behind a pointer and a slice so the walk has to
+// actually traverse the field graph.
+func TestArenaReachability(t *testing.T) {
+	src := `package vmtest
+
+type Arena struct{ n int }
+
+type Ctx struct {
+	Out   int
+	Arena *Arena
+}
+
+type ProcInfo struct {
+	Name string
+	Ctxs []Ctx
+}
+
+type Program struct {
+	Code  []uint32
+	Procs []ProcInfo
+}
+
+// Machine may hold an Arena: it is per-run state, not shared.
+type Machine struct {
+	prog  *Program
+	arena *Arena
+}
+`
+	cfg := immutCfg()
+	cfg.Forbid = []string{"vmtest.Arena"}
+	fs := checkImmutSrc(t, src, cfg)
+	if len(fs) != 1 {
+		t.Fatalf("got %d findings, want 1: %+v", len(fs), fs)
+	}
+	f := fs[0]
+	if f.Kind != "arena-reachable" {
+		t.Errorf("kind = %q", f.Kind)
+	}
+	if !strings.Contains(f.Msg, "vmtest.Program.Procs.Ctxs.Arena") {
+		t.Errorf("finding does not name the access path: %q", f.Msg)
+	}
+	if f.File != "vmtest.go" || f.Line == 0 {
+		t.Errorf("finding anchored at %s:%d", f.File, f.Line)
+	}
+
+	// The same layout without the offending field is clean: the Machine's
+	// own arena pointer must NOT trip the check (Machine is not Program).
+	clean := strings.Replace(src, "\tArena *Arena\n", "", 1)
+	if fs := checkImmutSrc(t, clean, cfg); len(fs) != 0 {
+		t.Fatalf("arena-free layout flagged: %+v", fs)
+	}
+}
+
+// TestArenaReachabilityCycle guards the walk against recursive types.
+func TestArenaReachabilityCycle(t *testing.T) {
+	src := `package vmtest
+
+type Program struct {
+	Next *Program
+	Tree *Node
+}
+
+type Node struct {
+	Kids []*Node
+}
+`
+	cfg := immutCfg()
+	cfg.Forbid = []string{"vmtest.Arena"}
+	if fs := checkImmutSrc(t, src, cfg); len(fs) != 0 {
+		t.Fatalf("cyclic layout flagged: %+v", fs)
+	}
+}
+
 func TestImmutabilityUnrelatedTypePasses(t *testing.T) {
 	src := `package vmtest
 

@@ -29,9 +29,9 @@ func TestConcurrentMachinesOneProgram(t *testing.T) {
 		Instr{Op: OpPrim, A: RegRV, B: 1, Regs: []int{s0}},
 		Instr{Op: OpReturn},
 	)
-	_, p = p.withConst(&sexp.Pair{Car: sexp.Fixnum(1), Cdr: sexp.Fixnum(2)})
+	_, p = p.withConst(prim.PairV(&prim.Pair{Car: prim.FixV(1), Cdr: prim.FixV(2)}))
 	p.ConstMutable[0] = true
-	_, p = p.withConst(sexp.Fixnum(7))
+	_, p = p.withConst(prim.FixV(7))
 	p.withPrim("set-car!")
 	p.withPrim("car")
 	p.GlobalNames = []sexp.Symbol{"g"}
@@ -49,7 +49,7 @@ func TestConcurrentMachinesOneProgram(t *testing.T) {
 				t.Errorf("concurrent run: %v", err)
 				return
 			}
-			if v != sexp.Fixnum(7) {
+			if v != prim.FixV(7) {
 				t.Errorf("concurrent run: got %v, want 7", v)
 			}
 		}()
@@ -57,7 +57,68 @@ func TestConcurrentMachinesOneProgram(t *testing.T) {
 	wg.Wait()
 
 	// The shared constant pool must be untouched by the set-car!.
-	if car := p.Consts[0].(*sexp.Pair).Car; car != sexp.Fixnum(1) {
+	cp, _ := p.Consts[0].Pair()
+	if car := cp.Car; car != prim.FixV(1) {
+		t.Errorf("shared constant mutated: car = %v, want 1", car)
+	}
+}
+
+// TestConcurrentArenaRecycling exercises the arena ownership contract
+// under the race detector: 64 machines share one immutable Program,
+// and each machine runs it repeatedly with Recycle between runs, so
+// every machine is concurrently zeroing and re-handing-out its own
+// pair cells. Since the program's pairs come from copyConst (which
+// draws from the machine arena), any accidental sharing of arena state
+// — through the Program, the decode cache, or a global — shows up as a
+// race or as cross-run value corruption; recycled-slab reuse showing a
+// stale value shows up as a wrong result.
+func TestConcurrentArenaRecycling(t *testing.T) {
+	s0, s1 := DefaultConfig().ScratchReg(0), DefaultConfig().ScratchReg(1)
+	p := asm(
+		// load the mutable pair constant '(1 . 2) (arena-copied per load)
+		Instr{Op: OpLoadConst, A: s0, B: 0},
+		// (set-car! it 7) mutates this machine's arena cell
+		Instr{Op: OpLoadConst, A: s1, B: 1},
+		Instr{Op: OpPrim, A: RegRV, B: 0, Regs: []int{s0, s1}},
+		// return (car it)
+		Instr{Op: OpPrim, A: RegRV, B: 1, Regs: []int{s0}},
+		Instr{Op: OpReturn},
+	)
+	_, p = p.withConst(prim.PairV(&prim.Pair{Car: prim.FixV(1), Cdr: prim.FixV(2)}))
+	p.ConstMutable[0] = true
+	_, p = p.withConst(prim.FixV(7))
+	p.withPrim("set-car!")
+	p.withPrim("car")
+
+	const machines = 64
+	const runsPerMachine = 8
+	var wg sync.WaitGroup
+	for i := 0; i < machines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := New(p, nil)
+			for r := 0; r < runsPerMachine; r++ {
+				v, err := m.Run()
+				if err != nil {
+					t.Errorf("run %d: %v", r, err)
+					return
+				}
+				if v != prim.FixV(7) {
+					t.Errorf("run %d: got %v, want 7", r, v)
+					return
+				}
+				// The result is consumed; recycle so the next run reuses
+				// the same slab cells.
+				m.Recycle()
+			}
+		}()
+	}
+	wg.Wait()
+
+	// The shared constant is untouched by 512 set-car! mutations.
+	cp, _ := p.Consts[0].Pair()
+	if car := cp.Car; car != prim.FixV(1) {
 		t.Errorf("shared constant mutated: car = %v, want 1", car)
 	}
 }

@@ -199,106 +199,99 @@ func isSpecPrim(x xcode) bool { return x >= xPCar && x <= xPCharEq }
 // spec2 reports whether specialized primitive pk takes two arguments.
 func spec2(pk xcode) bool { return pk >= xPCons }
 
-// specCompute1 computes a one-argument specialized primitive; a nil
-// result means the argument was outside the fast type case and the
-// caller must fall back to the table implementation. The cases mirror
-// the inline single-instruction arms in runThreaded (and through them
-// the prim table) — keep all three in step.
+// specCompute1 computes a one-argument specialized primitive; a None
+// (zero) result means the argument was outside the fast type case and
+// the caller must fall back to the table implementation. (None itself
+// is unreachable as a primitive result: predicates yield booleans, and
+// car/cdr can only yield values a program put into a pair.) The cases
+// mirror the inline single-instruction arms in runThreaded (and through
+// them the prim table) — keep all three in step.
 func specCompute1(pk xcode, v prim.Value) prim.Value {
 	switch pk {
 	case xPCar:
-		if p, isPair := v.(*sexp.Pair); isPair {
-			return prim.Unwrap(p.Car)
+		if p, isPair := v.Pair(); isPair {
+			return p.Car
 		}
 	case xPCdr:
-		if p, isPair := v.(*sexp.Pair); isPair {
-			return prim.Unwrap(p.Cdr)
+		if p, isPair := v.Pair(); isPair {
+			return p.Cdr
 		}
 	case xPNullP:
-		_, isEmpty := v.(sexp.Empty)
-		return sexp.Boolean(isEmpty)
+		return prim.BoolV(v.IsEmpty())
 	case xPPairP:
-		_, isPair := v.(*sexp.Pair)
-		return sexp.Boolean(isPair)
+		_, isPair := v.Pair()
+		return prim.BoolV(isPair)
 	case xPZeroP:
-		if n, isFix := v.(sexp.Fixnum); isFix {
-			return sexp.Boolean(n == 0)
+		if n, isFix := v.Fixnum(); isFix {
+			return prim.BoolV(n == 0)
 		}
 	case xPAdd1:
-		if n, isFix := v.(sexp.Fixnum); isFix {
-			return n + 1
+		if n, isFix := v.Fixnum(); isFix {
+			return prim.FixV(n + 1)
 		}
 	case xPSub1:
-		if n, isFix := v.(sexp.Fixnum); isFix {
-			return n - 1
+		if n, isFix := v.Fixnum(); isFix {
+			return prim.FixV(n - 1)
 		}
 	case xPSymbolP:
-		_, isSym := v.(sexp.Symbol)
-		return sexp.Boolean(isSym)
+		_, isSym := v.Symbol()
+		return prim.BoolV(isSym)
 	case xPVectorP:
-		_, isVec := v.(*sexp.Vector)
-		return sexp.Boolean(isVec)
+		_, isVec := v.Vector()
+		return prim.BoolV(isVec)
 	case xPNumberP:
-		switch v.(type) {
-		case sexp.Fixnum, sexp.Flonum:
-			return sexp.Boolean(true)
-		}
-		return sexp.Boolean(false)
+		return prim.BoolV(v.IsNumber())
 	case xPBooleanP:
-		_, isBool := v.(sexp.Boolean)
-		return sexp.Boolean(isBool)
+		return prim.BoolV(v.IsBool())
 	}
-	return nil
+	return prim.Value{}
 }
 
-// specCompute2 is specCompute1 for the two-argument primitives.
-func specCompute2(pk xcode, x, y prim.Value) prim.Value {
+// specCompute2 is specCompute1 for the two-argument primitives. It
+// takes the machine's Ctx because cons draws its cell from the arena.
+func specCompute2(pk xcode, ctx *prim.Ctx, x, y prim.Value) prim.Value {
 	switch pk {
 	case xPCons:
-		if xd, okx := x.(sexp.Datum); okx {
-			if yd, oky := y.(sexp.Datum); oky {
-				return &sexp.Pair{Car: xd, Cdr: yd}
-			}
-		}
+		return ctx.Cons(x, y)
 	case xPEq:
-		return sexp.Boolean(prim.Eqv(x, y))
+		return prim.BoolV(prim.Eqv(x, y))
 	case xPVectorRef:
-		if vec, okv := x.(*sexp.Vector); okv {
-			if i, oki := y.(sexp.Fixnum); oki && i >= 0 && int(i) < len(vec.Items) {
-				return prim.Unwrap(vec.Items[i])
+		if vec, okv := x.Vector(); okv {
+			if i, oki := y.Fixnum(); oki && i >= 0 && int(i) < len(vec.Items) {
+				return vec.Items[i]
 			}
 		}
 	case xPStringRef:
-		if str, oks := x.(sexp.Str); oks {
-			if i, oki := y.(sexp.Fixnum); oki && i >= 0 && int(i) < len(str) {
-				return sexp.Char(str[i])
+		if str, oks := x.Str(); oks {
+			if i, oki := y.Fixnum(); oki && i >= 0 && int(i) < len(str) {
+				return prim.CharV(rune(str[i]))
 			}
 		}
 	case xPCharEq:
-		if xc, okx := x.(sexp.Char); okx {
-			if yc, oky := y.(sexp.Char); oky {
-				return sexp.Boolean(xc == yc)
+		if xc, okx := x.Char(); okx {
+			if yc, oky := y.Char(); oky {
+				return prim.BoolV(xc == yc)
 			}
 		}
 	default:
-		if xn, okx := x.(sexp.Fixnum); okx {
-			if yn, oky := y.(sexp.Fixnum); oky {
+		if xn, okx := x.Fixnum(); okx {
+			if yn, oky := y.Fixnum(); oky {
 				switch pk {
 				case xPAdd:
-					return xn + yn
+					return prim.FixV(xn + yn)
 				case xPSub:
-					return xn - yn
+					return prim.FixV(xn - yn)
 				case xPMul:
-					return xn * yn
+					return prim.FixV(xn * yn)
 				case xPLt:
-					return sexp.Boolean(xn < yn)
+					return prim.BoolV(xn < yn)
 				case xPNumEq:
-					return sexp.Boolean(xn == yn)
+					return prim.BoolV(xn == yn)
 				}
 			}
 		}
 	}
-	return nil
+	return prim.Value{}
 }
 
 // dcode is one pre-decoded instruction: the dispatch code plus its
@@ -450,14 +443,14 @@ func (m *Machine) runThreaded() (prim.Value, error) {
 		// compiler must reload it (and re-check bounds) at every use.
 		pc := m.pc
 		if uint(pc) >= uint(len(code)) {
-			return nil, m.errf("pc out of range")
+			return prim.Value{}, m.errf("pc out of range")
 		}
 		d := &code[pc]
 		if d.x != xFn {
 			c.Instructions++
 			c.Cycles++
 			if c.Instructions > limit {
-				return nil, &FuelError{Budget: m.MaxSteps, PC: pc}
+				return prim.Value{}, &FuelError{Budget: m.MaxSteps, PC: pc}
 			}
 		}
 		switch d.x {
@@ -465,7 +458,7 @@ func (m *Machine) runThreaded() (prim.Value, error) {
 			// Fused runs and slow paths tick per sub-instruction
 			// themselves.
 			if err := d.fn(m, d); err != nil {
-				return nil, err
+				return prim.Value{}, err
 			}
 		case xHalt:
 			return m.readReg(RegRV)
@@ -473,7 +466,7 @@ func (m *Machine) runThreaded() (prim.Value, error) {
 		case xEntry:
 			if m.argc != d.a {
 				name := m.prog.Procs[m.actTopProc()].Name
-				return nil, m.errf("%s expects %d arguments, got %d", name, d.a, m.argc)
+				return prim.Value{}, m.errf("%s expects %d arguments, got %d", name, d.a, m.argc)
 			}
 			m.ensureStack(m.fp + d.b + 16)
 			m.pc++
@@ -483,7 +476,7 @@ func (m *Machine) runThreaded() (prim.Value, error) {
 			if !ok {
 				var err error
 				if v, err = m.readReg(d.b); err != nil {
-					return nil, err
+					return prim.Value{}, err
 				}
 			}
 			m.writeReg(d.a, v)
@@ -495,8 +488,8 @@ func (m *Machine) runThreaded() (prim.Value, error) {
 
 		case xLoadGlobal:
 			v := m.globals[d.b]
-			if v == nil {
-				return nil, m.errf("unbound global %s", m.prog.GlobalNames[d.b])
+			if v.IsNone() {
+				return prim.Value{}, m.errf("unbound global %s", m.prog.GlobalNames[d.b])
 			}
 			m.writeReg(d.a, v)
 			m.pc++
@@ -506,7 +499,7 @@ func (m *Machine) runThreaded() (prim.Value, error) {
 			if !ok {
 				var err error
 				if v, err = m.readReg(d.a); err != nil {
-					return nil, err
+					return prim.Value{}, err
 				}
 			}
 			m.globals[d.b] = v
@@ -517,7 +510,7 @@ func (m *Machine) runThreaded() (prim.Value, error) {
 			if !ok {
 				var err error
 				if v, err = m.loadSlot(m.fp+d.b, d.kind); err != nil {
-					return nil, err
+					return prim.Value{}, err
 				}
 			}
 			m.regs[d.a] = v
@@ -529,7 +522,7 @@ func (m *Machine) runThreaded() (prim.Value, error) {
 			if !ok {
 				var err error
 				if v, err = m.readReg(d.a); err != nil {
-					return nil, err
+					return prim.Value{}, err
 				}
 			}
 			m.storeSlot(m.fp+d.b, v, d.kind)
@@ -540,7 +533,7 @@ func (m *Machine) runThreaded() (prim.Value, error) {
 			if !ok {
 				var err error
 				if v, err = m.readReg(d.a); err != nil {
-					return nil, err
+					return prim.Value{}, err
 				}
 			}
 			m.storeSlot(m.fp+d.c+d.b, v, d.kind)
@@ -564,7 +557,7 @@ func (m *Machine) runThreaded() (prim.Value, error) {
 				}
 				v, err := m.readOperand(r)
 				if err != nil {
-					return nil, err
+					return prim.Value{}, err
 				}
 				args[i] = v
 			}
@@ -573,7 +566,7 @@ func (m *Machine) runThreaded() (prim.Value, error) {
 			}
 			res, err := d.def.Fn(m.ctx, args)
 			if err != nil {
-				return nil, err
+				return prim.Value{}, err
 			}
 			m.writeReg(d.a, res)
 			m.pc++
@@ -594,7 +587,7 @@ func (m *Machine) runThreaded() (prim.Value, error) {
 			if !ok {
 				var err error
 				if v, err = m.readOperand(d.b); err != nil {
-					return nil, err
+					return prim.Value{}, err
 				}
 			}
 			if m.fine {
@@ -603,52 +596,45 @@ func (m *Machine) runThreaded() (prim.Value, error) {
 			var res prim.Value
 			switch d.x {
 			case xPCar:
-				if p, isPair := v.(*sexp.Pair); isPair {
-					res = prim.Unwrap(p.Car)
+				if p, isPair := v.Pair(); isPair {
+					res = p.Car
 				}
 			case xPCdr:
-				if p, isPair := v.(*sexp.Pair); isPair {
-					res = prim.Unwrap(p.Cdr)
+				if p, isPair := v.Pair(); isPair {
+					res = p.Cdr
 				}
 			case xPNullP:
-				_, isEmpty := v.(sexp.Empty)
-				res = sexp.Boolean(isEmpty)
+				res = prim.BoolV(v.IsEmpty())
 			case xPPairP:
-				_, isPair := v.(*sexp.Pair)
-				res = sexp.Boolean(isPair)
+				_, isPair := v.Pair()
+				res = prim.BoolV(isPair)
 			case xPZeroP:
-				if n, isFix := v.(sexp.Fixnum); isFix {
-					res = sexp.Boolean(n == 0)
+				if n, isFix := v.Fixnum(); isFix {
+					res = prim.BoolV(n == 0)
 				}
 			case xPAdd1:
-				if n, isFix := v.(sexp.Fixnum); isFix {
-					res = n + 1
+				if n, isFix := v.Fixnum(); isFix {
+					res = prim.FixV(n + 1)
 				}
 			case xPSub1:
-				if n, isFix := v.(sexp.Fixnum); isFix {
-					res = n - 1
+				if n, isFix := v.Fixnum(); isFix {
+					res = prim.FixV(n - 1)
 				}
 			case xPSymbolP:
-				_, isSym := v.(sexp.Symbol)
-				res = sexp.Boolean(isSym)
+				_, isSym := v.Symbol()
+				res = prim.BoolV(isSym)
 			case xPVectorP:
-				_, isVec := v.(*sexp.Vector)
-				res = sexp.Boolean(isVec)
+				_, isVec := v.Vector()
+				res = prim.BoolV(isVec)
 			case xPNumberP:
-				switch v.(type) {
-				case sexp.Fixnum, sexp.Flonum:
-					res = sexp.Boolean(true)
-				default:
-					res = sexp.Boolean(false)
-				}
+				res = prim.BoolV(v.IsNumber())
 			case xPBooleanP:
-				_, isBool := v.(sexp.Boolean)
-				res = sexp.Boolean(isBool)
+				res = prim.BoolV(v.IsBool())
 			}
-			if res == nil {
+			if res.IsNone() {
 				var err error
 				if res, err = m.primFallback1(d, v); err != nil {
-					return nil, err
+					return prim.Value{}, err
 				}
 			}
 			m.writeReg(d.a, res)
@@ -664,7 +650,7 @@ func (m *Machine) runThreaded() (prim.Value, error) {
 			if !ok {
 				var err error
 				if x, err = m.readOperand(d.b); err != nil {
-					return nil, err
+					return prim.Value{}, err
 				}
 			}
 			ok = false
@@ -674,7 +660,7 @@ func (m *Machine) runThreaded() (prim.Value, error) {
 			if !ok {
 				var err error
 				if y, err = m.readOperand(d.c); err != nil {
-					return nil, err
+					return prim.Value{}, err
 				}
 			}
 			if m.fine {
@@ -683,53 +669,49 @@ func (m *Machine) runThreaded() (prim.Value, error) {
 			var res prim.Value
 			switch d.x {
 			case xPCons:
-				if xd, okx := x.(sexp.Datum); okx {
-					if yd, oky := y.(sexp.Datum); oky {
-						res = &sexp.Pair{Car: xd, Cdr: yd}
-					}
-				}
+				res = m.ctx.Cons(x, y)
 			case xPEq:
-				res = sexp.Boolean(prim.Eqv(x, y))
+				res = prim.BoolV(prim.Eqv(x, y))
 			case xPVectorRef:
-				if vec, okv := x.(*sexp.Vector); okv {
-					if i, oki := y.(sexp.Fixnum); oki && i >= 0 && int(i) < len(vec.Items) {
-						res = prim.Unwrap(vec.Items[i])
+				if vec, okv := x.Vector(); okv {
+					if i, oki := y.Fixnum(); oki && i >= 0 && int(i) < len(vec.Items) {
+						res = vec.Items[i]
 					}
 				}
 			case xPStringRef:
-				if str, oks := x.(sexp.Str); oks {
-					if i, oki := y.(sexp.Fixnum); oki && i >= 0 && int(i) < len(str) {
-						res = sexp.Char(str[i])
+				if str, oks := x.Str(); oks {
+					if i, oki := y.Fixnum(); oki && i >= 0 && int(i) < len(str) {
+						res = prim.CharV(rune(str[i]))
 					}
 				}
 			case xPCharEq:
-				if xc, okx := x.(sexp.Char); okx {
-					if yc, oky := y.(sexp.Char); oky {
-						res = sexp.Boolean(xc == yc)
+				if xc, okx := x.Char(); okx {
+					if yc, oky := y.Char(); oky {
+						res = prim.BoolV(xc == yc)
 					}
 				}
 			default:
-				if xn, okx := x.(sexp.Fixnum); okx {
-					if yn, oky := y.(sexp.Fixnum); oky {
+				if xn, okx := x.Fixnum(); okx {
+					if yn, oky := y.Fixnum(); oky {
 						switch d.x {
 						case xPAdd:
-							res = xn + yn
+							res = prim.FixV(xn + yn)
 						case xPSub:
-							res = xn - yn
+							res = prim.FixV(xn - yn)
 						case xPMul:
-							res = xn * yn
+							res = prim.FixV(xn * yn)
 						case xPLt:
-							res = sexp.Boolean(xn < yn)
+							res = prim.BoolV(xn < yn)
 						case xPNumEq:
-							res = sexp.Boolean(xn == yn)
+							res = prim.BoolV(xn == yn)
 						}
 					}
 				}
 			}
-			if res == nil {
+			if res.IsNone() {
 				var err error
 				if res, err = m.primFallback2(d, x, y); err != nil {
-					return nil, err
+					return prim.Value{}, err
 				}
 			}
 			m.writeReg(d.a, res)
@@ -745,7 +727,7 @@ func (m *Machine) runThreaded() (prim.Value, error) {
 			if !ok {
 				var err error
 				if x, err = m.readOperand(d.b); err != nil {
-					return nil, err
+					return prim.Value{}, err
 				}
 			}
 			if d.pk == xPEq || d.pk == xPLt || d.pk == xPNumEq || d.pk == xPCharEq {
@@ -756,7 +738,7 @@ func (m *Machine) runThreaded() (prim.Value, error) {
 				if !ok {
 					var err error
 					if y, err = m.readOperand(d.c); err != nil {
-						return nil, err
+						return prim.Value{}, err
 					}
 				}
 			}
@@ -766,53 +748,46 @@ func (m *Machine) runThreaded() (prim.Value, error) {
 			var res prim.Value
 			switch d.pk {
 			case xPNullP:
-				_, isEmpty := x.(sexp.Empty)
-				res = sexp.Boolean(isEmpty)
+				res = prim.BoolV(x.IsEmpty())
 			case xPPairP:
-				_, isPair := x.(*sexp.Pair)
-				res = sexp.Boolean(isPair)
+				_, isPair := x.Pair()
+				res = prim.BoolV(isPair)
 			case xPZeroP:
-				if n, isFix := x.(sexp.Fixnum); isFix {
-					res = sexp.Boolean(n == 0)
+				if n, isFix := x.Fixnum(); isFix {
+					res = prim.BoolV(n == 0)
 				}
 			case xPEq:
-				res = sexp.Boolean(prim.Eqv(x, y))
+				res = prim.BoolV(prim.Eqv(x, y))
 			case xPLt:
-				if xn, okx := x.(sexp.Fixnum); okx {
-					if yn, oky := y.(sexp.Fixnum); oky {
-						res = sexp.Boolean(xn < yn)
+				if xn, okx := x.Fixnum(); okx {
+					if yn, oky := y.Fixnum(); oky {
+						res = prim.BoolV(xn < yn)
 					}
 				}
 			case xPNumEq:
-				if xn, okx := x.(sexp.Fixnum); okx {
-					if yn, oky := y.(sexp.Fixnum); oky {
-						res = sexp.Boolean(xn == yn)
+				if xn, okx := x.Fixnum(); okx {
+					if yn, oky := y.Fixnum(); oky {
+						res = prim.BoolV(xn == yn)
 					}
 				}
 			case xPSymbolP:
-				_, isSym := x.(sexp.Symbol)
-				res = sexp.Boolean(isSym)
+				_, isSym := x.Symbol()
+				res = prim.BoolV(isSym)
 			case xPVectorP:
-				_, isVec := x.(*sexp.Vector)
-				res = sexp.Boolean(isVec)
+				_, isVec := x.Vector()
+				res = prim.BoolV(isVec)
 			case xPNumberP:
-				switch x.(type) {
-				case sexp.Fixnum, sexp.Flonum:
-					res = sexp.Boolean(true)
-				default:
-					res = sexp.Boolean(false)
-				}
+				res = prim.BoolV(x.IsNumber())
 			case xPBooleanP:
-				_, isBool := x.(sexp.Boolean)
-				res = sexp.Boolean(isBool)
+				res = prim.BoolV(x.IsBool())
 			case xPCharEq:
-				if xc, okx := x.(sexp.Char); okx {
-					if yc, oky := y.(sexp.Char); oky {
-						res = sexp.Boolean(xc == yc)
+				if xc, okx := x.Char(); okx {
+					if yc, oky := y.Char(); oky {
+						res = prim.BoolV(xc == yc)
 					}
 				}
 			}
-			if res == nil {
+			if res.IsNone() {
 				var err error
 				switch d.pk {
 				case xPEq, xPLt, xPNumEq, xPCharEq:
@@ -821,7 +796,7 @@ func (m *Machine) runThreaded() (prim.Value, error) {
 					res, err = m.primFallback1(d, x)
 				}
 				if err != nil {
-					return nil, err
+					return prim.Value{}, err
 				}
 			}
 			m.writeReg(d.a, res)
@@ -833,7 +808,7 @@ func (m *Machine) runThreaded() (prim.Value, error) {
 			c.Instructions++
 			c.Cycles++
 			if c.Instructions > limit {
-				return nil, &FuelError{Budget: m.MaxSteps, PC: m.pc}
+				return prim.Value{}, &FuelError{Budget: m.MaxSteps, PC: m.pc}
 			}
 			taken := !prim.Truthy(res)
 			if m.fine {
@@ -864,7 +839,7 @@ func (m *Machine) runThreaded() (prim.Value, error) {
 			if !ok {
 				var err error
 				if x, err = m.readOperand(d.b); err != nil {
-					return nil, err
+					return prim.Value{}, err
 				}
 			}
 			two := spec2(d.pk)
@@ -876,7 +851,7 @@ func (m *Machine) runThreaded() (prim.Value, error) {
 				if !ok {
 					var err error
 					if y, err = m.readOperand(d.c); err != nil {
-						return nil, err
+						return prim.Value{}, err
 					}
 				}
 			}
@@ -885,11 +860,11 @@ func (m *Machine) runThreaded() (prim.Value, error) {
 			}
 			var res prim.Value
 			if two {
-				res = specCompute2(d.pk, x, y)
+				res = specCompute2(d.pk, m.ctx, x, y)
 			} else {
 				res = specCompute1(d.pk, x)
 			}
-			if res == nil {
+			if res.IsNone() {
 				var err error
 				if two {
 					res, err = m.primFallback2(d, x, y)
@@ -897,7 +872,7 @@ func (m *Machine) runThreaded() (prim.Value, error) {
 					res, err = m.primFallback1(d, x)
 				}
 				if err != nil {
-					return nil, err
+					return prim.Value{}, err
 				}
 			}
 			m.writeReg(d.a, res)
@@ -909,7 +884,7 @@ func (m *Machine) runThreaded() (prim.Value, error) {
 			c.Instructions++
 			c.Cycles++
 			if c.Instructions > limit {
-				return nil, &FuelError{Budget: m.MaxSteps, PC: m.pc}
+				return prim.Value{}, &FuelError{Budget: m.MaxSteps, PC: m.pc}
 			}
 			m.storeSlot(m.fp+d.tgt, res, d.kind)
 			m.pc++
@@ -922,15 +897,15 @@ func (m *Machine) runThreaded() (prim.Value, error) {
 				v = d.val
 			case xLoadGlobal:
 				v = m.globals[d.b]
-				if v == nil {
-					return nil, m.errf("unbound global %s", m.prog.GlobalNames[d.b])
+				if v.IsNone() {
+					return prim.Value{}, m.errf("unbound global %s", m.prog.GlobalNames[d.b])
 				}
 			default: // xMove
 				var ok bool
 				if v, ok = m.regFast(d.b); !ok {
 					var err error
 					if v, err = m.readReg(d.b); err != nil {
-						return nil, err
+						return prim.Value{}, err
 					}
 				}
 			}
@@ -940,7 +915,7 @@ func (m *Machine) runThreaded() (prim.Value, error) {
 			c.Instructions++
 			c.Cycles++
 			if c.Instructions > limit {
-				return nil, &FuelError{Budget: m.MaxSteps, PC: m.pc}
+				return prim.Value{}, &FuelError{Budget: m.MaxSteps, PC: m.pc}
 			}
 			if d.stOut {
 				m.storeSlot(m.fp+d.c+d.tgt, v, d.kind)
@@ -954,25 +929,25 @@ func (m *Machine) runThreaded() (prim.Value, error) {
 			for i, r := range d.regs {
 				v, err := m.readOperand(r)
 				if err != nil {
-					return nil, err
+					return prim.Value{}, err
 				}
 				free[i] = v
 			}
-			m.writeReg(d.a, &Closure{Proc: d.b, Free: free})
+			m.writeReg(d.a, prim.ObjV(&Closure{Proc: d.b, Free: free}))
 			m.pc++
 
 		case xClosurePatch:
 			cv, err := m.readReg(d.a)
 			if err != nil {
-				return nil, err
+				return prim.Value{}, err
 			}
-			cl, ok := cv.(*Closure)
+			cl, ok := cv.Heap().(*Closure)
 			if !ok {
-				return nil, m.errf("closure-patch of non-closure")
+				return prim.Value{}, m.errf("closure-patch of non-closure")
 			}
 			v, err := m.readReg(d.c)
 			if err != nil {
-				return nil, err
+				return prim.Value{}, err
 			}
 			cl.Free[d.b] = v
 			m.pc++
@@ -980,11 +955,11 @@ func (m *Machine) runThreaded() (prim.Value, error) {
 		case xFreeRef:
 			cpv, err := m.readReg(RegCP)
 			if err != nil {
-				return nil, err
+				return prim.Value{}, err
 			}
-			cl, ok := cpv.(*Closure)
+			cl, ok := cpv.Heap().(*Closure)
 			if !ok {
-				return nil, m.errf("free-ref with non-closure cp")
+				return prim.Value{}, m.errf("free-ref with non-closure cp")
 			}
 			m.writeReg(d.a, cl.Free[d.b])
 			m.pc++
@@ -997,7 +972,7 @@ func (m *Machine) runThreaded() (prim.Value, error) {
 			if !ok {
 				var err error
 				if v, err = m.readReg(d.a); err != nil {
-					return nil, err
+					return prim.Value{}, err
 				}
 			}
 			taken := !prim.Truthy(v)
@@ -1024,17 +999,17 @@ func (m *Machine) runThreaded() (prim.Value, error) {
 
 		case xCall:
 			if err := m.call(d.a, m.fp+d.b, false); err != nil {
-				return nil, err
+				return prim.Value{}, err
 			}
 
 		case xTailCall:
 			if err := m.call(d.a, m.fp, true); err != nil {
-				return nil, err
+				return prim.Value{}, err
 			}
 
 		case xCallCC:
 			if err := m.callCC(d.b); err != nil {
-				return nil, err
+				return prim.Value{}, err
 			}
 
 		case xReturn:
@@ -1042,24 +1017,24 @@ func (m *Machine) runThreaded() (prim.Value, error) {
 			if !rok {
 				var err error
 				if rv, err = m.readReg(RegRet); err != nil {
-					return nil, err
+					return prim.Value{}, err
 				}
 			}
-			ra, ok := rv.(RetAddr)
+			rpc, rfp, ok := retTarget(rv)
 			if !ok {
-				return nil, m.errf("return with corrupt ret register (%s)", prim.WriteString(rv))
+				return prim.Value{}, m.errf("return with corrupt ret register (%s)", prim.WriteString(rv))
 			}
 			if len(m.acts) == 0 {
-				return nil, m.errf("return with empty activation stack")
+				return prim.Value{}, m.errf("return with empty activation stack")
 			}
 			m.classifyTop()
 			m.acts = m.acts[:len(m.acts)-1]
-			m.pc = ra.PC
-			m.fp = ra.FP
+			m.pc = rpc
+			m.fp = rfp
 			m.poisonAfterCall()
 
 		default:
-			return nil, m.errf("unknown opcode %d", d.op)
+			return prim.Value{}, m.errf("unknown opcode %d", d.op)
 		}
 	}
 }
@@ -1106,7 +1081,7 @@ func hLoadConstSlow(m *Machine, d *dcode) error {
 	}
 	v := m.prog.Consts[d.b]
 	if m.prog.ConstMutable[d.b] {
-		v = copyConst(v)
+		v = m.copyConst(v)
 	}
 	m.writeReg(d.a, v)
 	m.pc++

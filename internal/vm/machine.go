@@ -6,7 +6,6 @@ import (
 	"io"
 
 	"repro/internal/prim"
-	"repro/internal/sexp"
 )
 
 // Machine executes a compiled Program.
@@ -26,14 +25,6 @@ type Machine struct {
 	acts    []actEntry
 	ctx     *prim.Ctx
 	argbuf  []prim.Value
-	// retCache interns RetAddr boxes by (return pc, fp). Boxing a
-	// RetAddr into a prim.Value heap-allocates, and call-heavy programs
-	// paid one allocation per non-tail call — by far the machine's
-	// hottest allocation site. A RetAddr is boxed by value and never
-	// mutated, so sharing one box per (pc, fp) pair is invisible to the
-	// program; call sites and frame depths repeat, so the cache hits
-	// almost always after warm-up.
-	retCache [][]prim.Value
 	// fine caches Counting == CountFull for the duration of a run.
 	fine bool
 
@@ -72,11 +63,11 @@ func New(prog *Program, out io.Writer) *Machine {
 		readyAt: make([]int64, prog.Config.NumRegs()),
 		stack:   make([]prim.Value, 1024),
 		globals: make([]prim.Value, len(prog.GlobalNames)),
-		ctx:     &prim.Ctx{Out: out},
+		ctx:     &prim.Ctx{Out: out, Arena: &prim.Arena{}},
 	}
 	for i, d := range prog.PrimGlobals {
 		if d != nil {
-			m.globals[i] = &PrimValue{Def: d}
+			m.globals[i] = prim.ObjV(&PrimValue{Def: d})
 		}
 	}
 	m.Counters.PerProc = make([]ProcCounters, len(prog.Procs))
@@ -129,8 +120,8 @@ func (m *Machine) errf(format string, args ...interface{}) error {
 func (m *Machine) Run() (prim.Value, error) {
 	m.fine = m.Counting == CountFull
 	main := m.prog.Procs[m.prog.MainIndex]
-	m.regs[RegCP] = &Closure{Proc: m.prog.MainIndex}
-	m.regs[RegRet] = m.retAddr(0, 0) // code[0] is halt; interned like every return point
+	m.regs[RegCP] = prim.ObjV(&Closure{Proc: m.prog.MainIndex})
+	m.regs[RegRet] = m.retAddr(0, 0) // code[0] is halt
 	m.pc = main.Entry
 	m.fp = 0
 	m.argc = 0
@@ -145,30 +136,37 @@ func (m *Machine) Run() (prim.Value, error) {
 	return m.runThreaded()
 }
 
-// retAddr returns the interned boxed RetAddr for (pc, fp), creating it
-// on first use. pc is always m.pc+1 <= len(Code) and fp >= 0, but both
-// are range-checked so a hostile program cannot force a huge table.
+// retAddr returns the return-point value for (pc, fp). The common case
+// packs both into an immediate (prim.MakeRet), so building a return
+// point costs nothing; pc/fp outside the packable range (a hostile or
+// pathological program) fall back to the boxed RetAddr. This replaced
+// the old per-machine intern table, which existed only to avoid boxing.
 func (m *Machine) retAddr(pc, fp int) prim.Value {
-	if pc < 0 || fp < 0 || pc > len(m.prog.Code) {
-		return RetAddr{PC: pc, FP: fp}
+	if v, ok := prim.MakeRet(pc, fp); ok {
+		return v
 	}
-	if m.retCache == nil {
-		m.retCache = make([][]prim.Value, len(m.prog.Code)+1)
-	}
-	row := m.retCache[pc]
-	if fp >= len(row) {
-		grown := make([]prim.Value, max(fp+1, 2*len(row)))
-		copy(grown, row)
-		row = grown
-		m.retCache[pc] = row
-	}
-	v := row[fp]
-	if v == nil {
-		v = RetAddr{PC: pc, FP: fp}
-		row[fp] = v
-	}
-	return v
+	return prim.ObjV(RetAddr{PC: pc, FP: fp})
 }
+
+// retTarget decodes a return-point value produced by retAddr.
+func retTarget(v prim.Value) (pc, fp int, ok bool) {
+	if pc, fp, ok = v.Ret(); ok {
+		return pc, fp, true
+	}
+	if ra, boxed := v.Heap().(RetAddr); boxed {
+		return ra.PC, ra.FP, true
+	}
+	return 0, 0, false
+}
+
+// Recycle returns every pair cell the machine's arena has handed out to
+// the free list for reuse by subsequent runs. It invalidates ALL values
+// produced by prior runs — including list structure referenced from the
+// result value or stored into globals — so callers may only recycle
+// when those values are no longer needed (e.g. a benchmark harness
+// re-running the same program). The next Run starts with a warm arena
+// and near-zero pair allocation.
+func (m *Machine) Recycle() { m.ctx.Arena.Recycle() }
 
 // call dispatches a procedure invocation. newFP is the callee frame
 // pointer; for non-tail calls ret has NOT yet been set (done here).
@@ -185,7 +183,7 @@ func (m *Machine) call(argc, newFP int, tail bool) error {
 	} else if m.fine {
 		m.Counters.TailCalls++
 	}
-	switch callee := calleeV.(type) {
+	switch callee := calleeV.Heap().(type) {
 	case *Closure:
 		proc := &m.prog.Procs[callee.Proc]
 		if !tail {
@@ -224,14 +222,14 @@ func (m *Machine) call(argc, newFP int, tail bool) error {
 			if err != nil {
 				return err
 			}
-			ra, ok := rv.(RetAddr)
+			rpc, rfp, ok := retTarget(rv)
 			if !ok {
 				return m.errf("tail call to primitive with corrupt ret register")
 			}
 			m.classifyTop()
 			m.acts = m.acts[:len(m.acts)-1]
-			m.pc = ra.PC
-			m.fp = ra.FP
+			m.pc = rpc
+			m.fp = rfp
 		} else {
 			m.pc++
 		}
@@ -267,10 +265,11 @@ func (m *Machine) callCC(frame int) error {
 		CSRegs:   append([]prim.Value(nil), m.regs[m.callerSaveLimit():]...),
 	}
 	k.Acts[len(k.Acts)-1].madeCall = true
+	kv := prim.ObjV(k)
 	if m.cfg.ArgRegs > 0 {
-		m.writeReg(m.cfg.ArgReg(0), k)
+		m.writeReg(m.cfg.ArgReg(0), kv)
 	} else {
-		m.storeSlot(newFP, k, KindArg)
+		m.storeSlot(newFP, kv, KindArg)
 	}
 	return m.call(1, newFP, false)
 }
@@ -357,7 +356,7 @@ func (m *Machine) readOperand(r int) (prim.Value, error) {
 	}
 	v, err := m.loadSlot(m.fp+SlotOperand(r), KindTemp)
 	if err != nil {
-		return nil, err
+		return prim.Value{}, err
 	}
 	m.Counters.Cycles += m.cost.LoadLatency
 	m.Counters.StallCycles += m.cost.LoadLatency
@@ -371,7 +370,7 @@ func (m *Machine) readOperand(r int) (prim.Value, error) {
 // inlining budget.
 func (m *Machine) regFast(r int) (prim.Value, bool) {
 	if m.readyAt[r] > m.Counters.Cycles || m.ValidateRestores {
-		return nil, false
+		return prim.Value{}, false
 	}
 	return m.regs[r], true
 }
@@ -383,8 +382,8 @@ func (m *Machine) readReg(r int) (prim.Value, error) {
 	}
 	v := m.regs[r]
 	if m.ValidateRestores {
-		if _, bad := v.(poison); bad {
-			return nil, m.errf("read of destroyed register r%d (missing restore)", r)
+		if _, bad := v.Heap().(poison); bad {
+			return prim.Value{}, m.errf("read of destroyed register r%d (missing restore)", r)
 		}
 	}
 	return v, nil
@@ -400,7 +399,7 @@ func (m *Machine) writeReg(r int, v prim.Value) {
 // second result is false when the caller must take loadSlot instead.
 func (m *Machine) slotFast(addr int) (prim.Value, bool) {
 	if uint(addr) >= uint(len(m.stack)) || m.fine {
-		return nil, false
+		return prim.Value{}, false
 	}
 	m.Counters.StackReads++
 	m.Counters.Cycles += m.cost.MemPenalty
@@ -409,7 +408,7 @@ func (m *Machine) slotFast(addr int) (prim.Value, bool) {
 
 func (m *Machine) loadSlot(addr int, kind SlotKind) (prim.Value, error) {
 	if addr < 0 || addr >= len(m.stack) {
-		return nil, m.errf("stack load out of range (%d)", addr)
+		return prim.Value{}, m.errf("stack load out of range (%d)", addr)
 	}
 	m.Counters.StackReads++
 	if m.fine {
@@ -509,21 +508,7 @@ func (m *Machine) callerSaveLimit() int {
 
 // copyConst deep-copies constants containing mutable structure so each
 // evaluation of a quote yields fresh pairs/vectors (matching the
-// reference interpreter).
-func copyConst(v prim.Value) prim.Value {
-	switch t := v.(type) {
-	case *sexp.Pair:
-		return &sexp.Pair{
-			Car: copyConst(t.Car).(sexp.Datum),
-			Cdr: copyConst(t.Cdr).(sexp.Datum),
-		}
-	case *sexp.Vector:
-		items := make([]sexp.Datum, len(t.Items))
-		for i, it := range t.Items {
-			items[i] = copyConst(it).(sexp.Datum)
-		}
-		return &sexp.Vector{Items: items}
-	default:
-		return v
-	}
+// reference interpreter). Pair cells come from the machine's arena.
+func (m *Machine) copyConst(v prim.Value) prim.Value {
+	return prim.CopyTree(m.ctx.Arena, v)
 }

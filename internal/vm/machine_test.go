@@ -53,9 +53,9 @@ func TestMoveConstReturn(t *testing.T) {
 		Instr{Op: OpLoadConst, A: RegRV, B: 0},
 		Instr{Op: OpReturn},
 	)
-	_, p = p.withConst(sexp.Fixnum(42))
+	_, p = p.withConst(prim.FixV(42))
 	v, m := runProgram(t, p)
-	if v != sexp.Fixnum(42) {
+	if v != prim.FixV(42) {
 		t.Errorf("got %v", v)
 	}
 	if m.Counters.Instructions == 0 {
@@ -74,11 +74,11 @@ func TestPrimAndOperandEncoding(t *testing.T) {
 		Instr{Op: OpPrim, A: RegRV, B: 0, Regs: []int{s0, ^3}},
 		Instr{Op: OpReturn},
 	)
-	_, p = p.withConst(sexp.Fixnum(30))
-	_, p = p.withConst(sexp.Fixnum(12))
+	_, p = p.withConst(prim.FixV(30))
+	_, p = p.withConst(prim.FixV(12))
 	p.withPrim("+")
 	v, m := runProgram(t, p)
-	if v != sexp.Fixnum(42) {
+	if v != prim.FixV(42) {
 		t.Errorf("got %v", v)
 	}
 	// One slot write, one slot read (the memory operand).
@@ -101,11 +101,11 @@ func TestBranchAndJump(t *testing.T) {
 		Instr{Op: OpLoadConst, A: RegRV, B: 2}, // pc 6: else
 		Instr{Op: OpReturn},                    // pc 7
 	)
-	_, p = p.withConst(sexp.Boolean(false))
-	_, p = p.withConst(sexp.Symbol("then"))
-	_, p = p.withConst(sexp.Symbol("else"))
+	_, p = p.withConst(prim.BoolV(false))
+	_, p = p.withConst(prim.SymV("then"))
+	_, p = p.withConst(prim.SymV("else"))
 	v, m := runProgram(t, p)
-	if v != sexp.Symbol("else") {
+	if v != prim.SymV("else") {
 		t.Errorf("got %v", v)
 	}
 	if m.Counters.Branches != 1 {
@@ -121,7 +121,7 @@ func TestBranchPredictionCounters(t *testing.T) {
 		Instr{Op: OpLoadConst, A: RegRV, B: 0},
 		Instr{Op: OpReturn},
 	)
-	_, p = p.withConst(sexp.Boolean(true))
+	_, p = p.withConst(prim.BoolV(true))
 	m := New(p, nil)
 	cost := DefaultCostModel()
 	cost.BranchMispredict = 7
@@ -154,10 +154,10 @@ func TestCallReturnAndArity(t *testing.T) {
 		Instr{Op: OpReturn},
 	)
 	p.Procs = append(p.Procs, ProcInfo{Name: "double", Entry: entry, NArgs: 1, SyntacticLeaf: true})
-	_, p = p.withConst(sexp.Fixnum(5))
+	_, p = p.withConst(prim.FixV(5))
 	p.withPrim("+")
 	v, m := runProgram(t, p)
-	if v != sexp.Fixnum(10) {
+	if v != prim.FixV(10) {
 		t.Errorf("got %v", v)
 	}
 	if m.Counters.Calls != 1 {
@@ -194,7 +194,7 @@ func TestApplyNonProcedure(t *testing.T) {
 		Instr{Op: OpCall, A: 0, B: 8},
 		Instr{Op: OpReturn},
 	)
-	_, p = p.withConst(sexp.Fixnum(3))
+	_, p = p.withConst(prim.FixV(3))
 	m := New(p, nil)
 	if _, err := m.Run(); err == nil || !strings.Contains(err.Error(), "non-procedure") {
 		t.Errorf("got %v", err)
@@ -223,10 +223,10 @@ func TestClosurePatchAndFreeRef(t *testing.T) {
 		Instr{Op: OpReturn},
 	)
 	p.Procs = append(p.Procs, ProcInfo{Name: "getter", Entry: entry, NFree: 1})
-	_, p = p.withConst(sexp.Boolean(false))
-	_, p = p.withConst(sexp.Fixnum(99))
+	_, p = p.withConst(prim.BoolV(false))
+	_, p = p.withConst(prim.FixV(99))
 	v, _ := runProgram(t, p)
-	if v != sexp.Fixnum(99) {
+	if v != prim.FixV(99) {
 		t.Errorf("got %v", v)
 	}
 }
@@ -241,11 +241,11 @@ func TestMutableConstCopied(t *testing.T) {
 		Instr{Op: OpPrim, A: RegRV, B: 0, Regs: []int{s0, s1}}, // eq?
 		Instr{Op: OpReturn},
 	)
-	p.Consts = append(p.Consts, sexp.Cons(sexp.Fixnum(1), sexp.Fixnum(2)))
+	p.Consts = append(p.Consts, prim.PairV(&prim.Pair{Car: prim.FixV(1), Cdr: prim.FixV(2)}))
 	p.ConstMutable = append(p.ConstMutable, true)
 	p.withPrim("eq?")
 	v, _ := runProgram(t, p)
-	if v != sexp.Boolean(false) {
+	if v != prim.BoolV(false) {
 		t.Errorf("pair constants should be copied per load, got %v", v)
 	}
 }
@@ -271,7 +271,7 @@ func TestValidateRestoresPoison(t *testing.T) {
 		Instr{Op: OpReturn},
 	)
 	p.Procs = append(p.Procs, ProcInfo{Name: "leaf", Entry: entry, SyntacticLeaf: true})
-	_, p = p.withConst(sexp.Fixnum(1))
+	_, p = p.withConst(prim.FixV(1))
 
 	// Without validation it runs (value is whatever remains).
 	m := New(p, nil)
@@ -312,9 +312,9 @@ func TestSlotKindAccounting(t *testing.T) {
 		Instr{Op: OpLoadSlot, A: RegRV, B: 1, Kind: KindVar},
 		Instr{Op: OpReturn},
 	)
-	_, p = p.withConst(sexp.Fixnum(7))
+	_, p = p.withConst(prim.FixV(7))
 	v, m := runProgram(t, p)
-	if v != sexp.Fixnum(7) {
+	if v != prim.FixV(7) {
 		t.Errorf("got %v", v)
 	}
 	c := m.Counters
@@ -343,7 +343,7 @@ func TestLoadUseStall(t *testing.T) {
 			Instr{Op: OpReturn},
 		)
 		p := asm(body...)
-		_, p = p.withConst(sexp.Fixnum(1))
+		_, p = p.withConst(prim.FixV(1))
 		m := New(p, nil)
 		if _, err := m.Run(); err != nil {
 			panic(err)
@@ -389,7 +389,7 @@ func TestDisassemblerCoversOpcodes(t *testing.T) {
 		Instr{Op: OpLoadConst, A: RegRV, B: 0},
 		Instr{Op: OpReturn},
 	)
-	_, p = p.withConst(sexp.Fixnum(1))
+	_, p = p.withConst(prim.FixV(1))
 	out := p.Disassemble()
 	for _, frag := range []string{"halt", "entry", "const rv", "return", "main:"} {
 		if !strings.Contains(out, frag) {
@@ -407,7 +407,7 @@ func TestCountersString(t *testing.T) {
 		Instr{Op: OpLoadConst, A: RegRV, B: 0},
 		Instr{Op: OpReturn},
 	)
-	_, p = p.withConst(sexp.Fixnum(1))
+	_, p = p.withConst(prim.FixV(1))
 	_, m := runProgram(t, p)
 	s := m.Counters.String()
 	for _, frag := range []string{"instructions", "stack refs", "activations"} {

@@ -15,26 +15,26 @@ func (m *Machine) loop() (prim.Value, error) {
 	c := &m.Counters
 	for {
 		if m.pc < 0 || m.pc >= len(m.prog.Code) {
-			return nil, m.errf("pc out of range")
+			return prim.Value{}, m.errf("pc out of range")
 		}
 		in := &m.prog.Code[m.pc]
 		c.Instructions++
 		c.Cycles++
 		if m.MaxSteps > 0 && c.Instructions > m.MaxSteps {
-			return nil, &FuelError{Budget: m.MaxSteps, PC: m.pc}
+			return prim.Value{}, &FuelError{Budget: m.MaxSteps, PC: m.pc}
 		}
 		switch in.Op {
 		case OpHalt:
 			v, err := m.readReg(RegRV)
 			if err != nil {
-				return nil, err
+				return prim.Value{}, err
 			}
 			return v, nil
 
 		case OpEntry:
 			if m.argc != in.A {
 				name := m.prog.Procs[m.actTopProc()].Name
-				return nil, m.errf("%s expects %d arguments, got %d", name, in.A, m.argc)
+				return prim.Value{}, m.errf("%s expects %d arguments, got %d", name, in.A, m.argc)
 			}
 			m.ensureStack(m.fp + in.B + 16)
 			m.pc++
@@ -42,7 +42,7 @@ func (m *Machine) loop() (prim.Value, error) {
 		case OpMove:
 			v, err := m.readReg(in.B)
 			if err != nil {
-				return nil, err
+				return prim.Value{}, err
 			}
 			m.writeReg(in.A, v)
 			m.pc++
@@ -50,15 +50,15 @@ func (m *Machine) loop() (prim.Value, error) {
 		case OpLoadConst:
 			v := m.prog.Consts[in.B]
 			if m.prog.ConstMutable[in.B] {
-				v = copyConst(v)
+				v = m.copyConst(v)
 			}
 			m.writeReg(in.A, v)
 			m.pc++
 
 		case OpLoadGlobal:
 			v := m.globals[in.B]
-			if v == nil {
-				return nil, m.errf("unbound global %s", m.prog.GlobalNames[in.B])
+			if v.IsNone() {
+				return prim.Value{}, m.errf("unbound global %s", m.prog.GlobalNames[in.B])
 			}
 			m.writeReg(in.A, v)
 			m.pc++
@@ -66,7 +66,7 @@ func (m *Machine) loop() (prim.Value, error) {
 		case OpStoreGlobal:
 			v, err := m.readReg(in.A)
 			if err != nil {
-				return nil, err
+				return prim.Value{}, err
 			}
 			m.globals[in.B] = v
 			m.pc++
@@ -74,7 +74,7 @@ func (m *Machine) loop() (prim.Value, error) {
 		case OpLoadSlot:
 			v, err := m.loadSlot(m.fp+in.B, in.Kind)
 			if err != nil {
-				return nil, err
+				return prim.Value{}, err
 			}
 			m.regs[in.A] = v
 			m.readyAt[in.A] = c.Cycles + m.cost.LoadLatency
@@ -83,7 +83,7 @@ func (m *Machine) loop() (prim.Value, error) {
 		case OpStoreSlot:
 			v, err := m.readReg(in.A)
 			if err != nil {
-				return nil, err
+				return prim.Value{}, err
 			}
 			m.storeSlot(m.fp+in.B, v, in.Kind)
 			m.pc++
@@ -91,14 +91,14 @@ func (m *Machine) loop() (prim.Value, error) {
 		case OpStoreOut:
 			v, err := m.readReg(in.A)
 			if err != nil {
-				return nil, err
+				return prim.Value{}, err
 			}
 			m.storeSlot(m.fp+in.C+in.B, v, in.Kind)
 			m.pc++
 
 		case OpPrim:
 			if err := m.applyPrim(in.A, m.prog.Prims[in.B], in.Regs); err != nil {
-				return nil, err
+				return prim.Value{}, err
 			}
 			m.pc++
 
@@ -107,25 +107,25 @@ func (m *Machine) loop() (prim.Value, error) {
 			for i, r := range in.Regs {
 				v, err := m.readOperand(r)
 				if err != nil {
-					return nil, err
+					return prim.Value{}, err
 				}
 				free[i] = v
 			}
-			m.writeReg(in.A, &Closure{Proc: in.B, Free: free})
+			m.writeReg(in.A, prim.ObjV(&Closure{Proc: in.B, Free: free}))
 			m.pc++
 
 		case OpClosurePatch:
 			cv, err := m.readReg(in.A)
 			if err != nil {
-				return nil, err
+				return prim.Value{}, err
 			}
-			cl, ok := cv.(*Closure)
+			cl, ok := cv.Heap().(*Closure)
 			if !ok {
-				return nil, m.errf("closure-patch of non-closure")
+				return prim.Value{}, m.errf("closure-patch of non-closure")
 			}
 			v, err := m.readReg(in.C)
 			if err != nil {
-				return nil, err
+				return prim.Value{}, err
 			}
 			cl.Free[in.B] = v
 			m.pc++
@@ -133,11 +133,11 @@ func (m *Machine) loop() (prim.Value, error) {
 		case OpFreeRef:
 			cpv, err := m.readReg(RegCP)
 			if err != nil {
-				return nil, err
+				return prim.Value{}, err
 			}
-			cl, ok := cpv.(*Closure)
+			cl, ok := cpv.Heap().(*Closure)
 			if !ok {
-				return nil, m.errf("free-ref with non-closure cp")
+				return prim.Value{}, m.errf("free-ref with non-closure cp")
 			}
 			m.writeReg(in.A, cl.Free[in.B])
 			m.pc++
@@ -148,7 +148,7 @@ func (m *Machine) loop() (prim.Value, error) {
 		case OpBranchFalse:
 			v, err := m.readReg(in.A)
 			if err != nil {
-				return nil, err
+				return prim.Value{}, err
 			}
 			taken := !prim.Truthy(v)
 			if m.fine {
@@ -174,39 +174,39 @@ func (m *Machine) loop() (prim.Value, error) {
 
 		case OpCall:
 			if err := m.call(in.A, m.fp+in.B, false); err != nil {
-				return nil, err
+				return prim.Value{}, err
 			}
 
 		case OpTailCall:
 			if err := m.call(in.A, m.fp, true); err != nil {
-				return nil, err
+				return prim.Value{}, err
 			}
 
 		case OpCallCC:
 			if err := m.callCC(in.B); err != nil {
-				return nil, err
+				return prim.Value{}, err
 			}
 
 		case OpReturn:
 			rv, err := m.readReg(RegRet)
 			if err != nil {
-				return nil, err
+				return prim.Value{}, err
 			}
-			ra, ok := rv.(RetAddr)
+			rpc, rfp, ok := retTarget(rv)
 			if !ok {
-				return nil, m.errf("return with corrupt ret register (%s)", prim.WriteString(rv))
+				return prim.Value{}, m.errf("return with corrupt ret register (%s)", prim.WriteString(rv))
 			}
 			if len(m.acts) == 0 {
-				return nil, m.errf("return with empty activation stack")
+				return prim.Value{}, m.errf("return with empty activation stack")
 			}
 			m.classifyTop()
 			m.acts = m.acts[:len(m.acts)-1]
-			m.pc = ra.PC
-			m.fp = ra.FP
+			m.pc = rpc
+			m.fp = rfp
 			m.poisonAfterCall()
 
 		default:
-			return nil, m.errf("unknown opcode %d", in.Op)
+			return prim.Value{}, m.errf("unknown opcode %d", in.Op)
 		}
 	}
 }

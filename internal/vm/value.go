@@ -20,7 +20,9 @@ func (*PrimValue) SchemeProcedure() {}
 
 // RetAddr is a return point: the code address to continue at and the
 // caller's frame pointer. It lives in the ret register and in save
-// slots like any other value.
+// slots like any other value. Return points are normally packed into an
+// immediate prim.Value (prim.MakeRet) and never allocate; this boxed
+// form is the fallback for pc/fp values outside the packable range.
 type RetAddr struct {
 	PC int
 	FP int
@@ -54,7 +56,7 @@ type poison struct{}
 // per call boundary, so they store one pre-boxed value instead of
 // re-boxing at every register (the sentinel is stateless, so sharing
 // is invisible).
-var poisonVal prim.Value = poison{}
+var poisonVal = prim.ObjV(poison{})
 
 // actEntry tracks one activation for the dynamic call-graph statistics.
 type actEntry struct {
