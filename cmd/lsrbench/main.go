@@ -15,6 +15,9 @@
 //	lsrbench -verify             # static translation validation sweep
 //	lsrbench -lint               # static optimality (waste) sweep
 //	lsrbench -waste              # static-vs-dynamic waste cross-validation
+//	                             # plus the interprocedural waste audit
+//	lsrbench -arena              # arena-lifetime escape analysis sweep
+//	                             # (gates: benchmarks clean, corpus caught)
 //	lsrbench -suite quick        # restrict tables to a fast subset
 //
 // Performance gate (see DESIGN.md §12):
@@ -44,6 +47,7 @@ func main() {
 		verifySweep = flag.Bool("verify", false, "statically verify every benchmark under every swept configuration")
 		lintSweep   = flag.Bool("lint", false, "run the optimality analyzer over every benchmark under every swept configuration")
 		wasteTable  = flag.Bool("waste", false, "cross-validate static waste counts against the machine's dynamic counters")
+		arenaSweep  = flag.Bool("arena", false, "run the arena-lifetime escape analysis over every benchmark and the seeded-violation corpus")
 		all         = flag.Bool("all", false, "run everything")
 		suite       = flag.String("suite", "full", "benchmark subset: full or quick")
 
@@ -173,6 +177,18 @@ func main() {
 	if *all || *wasteTable {
 		section(func() error {
 			text, err := bench.WasteTable(progs)
+			fmt.Print(text)
+			return err
+		})
+		section(func() error {
+			text, err := bench.InterprocAudit(progs)
+			fmt.Print(text)
+			return err
+		})
+	}
+	if *all || *arenaSweep {
+		section(func() error {
+			text, err := bench.ArenaSweep(progs)
 			fmt.Print(text)
 			return err
 		})

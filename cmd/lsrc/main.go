@@ -18,9 +18,17 @@
 // -lint reports allocation waste the sound code still carries
 // (redundant saves, dead restores, suboptimal shuffles) plus a static
 // cycle estimate, and exits nonzero on waste the paper's algorithms
-// promise never to emit. -json renders either pass's findings as
-// structured JSON on stdout. -maxsteps N bounds execution with a fuel
-// budget (0 = unlimited) so runaway programs terminate deterministically.
+// promise never to emit. -interproc runs the interprocedural
+// save/restore audit: with resolved callees and clobber summaries it
+// flags cross-call dead restores and redundant saves the per-procedure
+// lint cannot see; the findings are advisory (allocator headroom, not
+// bugs) and never gate. Human-readable -lint output includes the
+// interprocedural section; -lint -json stays the plain lint envelope
+// (byte-compatible with lsrd's /v1/lint), while -interproc -json emits
+// a separate "interproc" findings envelope. -json renders any pass's
+// findings as structured JSON on stdout. -maxsteps N bounds execution
+// with a fuel budget (0 = unlimited) so runaway programs terminate
+// deterministically.
 //
 // Exit codes follow the service error taxonomy (shared with lsrd, so
 // scripts and the daemon report failures identically):
@@ -60,6 +68,7 @@ func main() {
 		noPrelude = flag.Bool("no-prelude", false, "omit the Scheme runtime library")
 		verifyPP  = flag.Bool("verify", false, "statically verify the emitted code (translation validation)")
 		lintPP    = flag.Bool("lint", false, "run the optimality analyzer and report allocation waste (skips execution)")
+		interPP   = flag.Bool("interproc", false, "run the interprocedural save/restore audit (skips execution; advisory, never gates)")
 		jsonOut   = flag.Bool("json", false, "emit -verify/-lint findings as JSON")
 		dump      = flag.Bool("dump", false, "print the compiled code")
 		stats     = flag.Bool("stats", false, "print machine counters after the run")
@@ -103,8 +112,24 @@ func main() {
 	if *dump {
 		fmt.Print(prog.Disassemble())
 	}
-	if *lintPP {
-		reportLint(prog.Lint, *jsonOut)
+	if *lintPP || *interPP {
+		// The interprocedural section rides along with human -lint
+		// output; under -json the lint envelope stays byte-compatible
+		// with lsrd's /v1/lint, so the interproc envelope only appears
+		// when -interproc is given explicitly.
+		var irep *lsr.InterprocReport
+		if *interPP || (*lintPP && !*jsonOut) {
+			irep = prog.AnalyzeInterproc()
+		}
+		if *lintPP {
+			printLint(prog.Lint, *jsonOut)
+		}
+		if irep != nil {
+			reportInterproc(irep, *jsonOut && *interPP)
+		}
+		if *lintPP {
+			exitOnWaste(prog.Lint)
+		}
 		return
 	}
 	res, err := prog.RunWithOptions(os.Stdout, lsr.RunOptions{
@@ -198,22 +223,44 @@ func failVerify(verr *lsr.VerifyError, json bool) {
 	os.Exit(service.KindVerify.ExitCode())
 }
 
-// reportLint renders the optimality analyzer's report — human-readable
-// or as structured JSON — and exits nonzero when the code carries waste
-// the paper's algorithms promise never to emit (a redundant save or an
-// excess shuffle move; dead restores are inherent eager-restore
-// overhead and only informational).
-func reportLint(rep *lsr.LintReport, json bool) {
+// printLint renders the optimality analyzer's report — human-readable
+// or as structured JSON.
+func printLint(rep *lsr.LintReport, json bool) {
 	if json {
 		r := lsr.StructuredReport{Tool: "lint", Findings: rep.Structured(), Summary: rep.Totals}
 		if err := lsr.WriteFindings(os.Stdout, r); err != nil {
 			failKind(service.KindInternal, err)
 		}
-	} else {
-		fmt.Print(rep.Render())
+		return
 	}
+	fmt.Print(rep.Render())
+}
+
+// exitOnWaste exits nonzero when the code carries waste the paper's
+// algorithms promise never to emit (a redundant save or an excess
+// shuffle move; dead restores are inherent eager-restore overhead and
+// only informational).
+func exitOnWaste(rep *lsr.LintReport) {
 	if err := rep.WasteError(); err != nil {
 		fmt.Fprintln(os.Stderr, "lsrc:", err)
 		os.Exit(service.KindWaste.ExitCode())
 	}
+}
+
+// reportInterproc renders the interprocedural audit: a human-readable
+// section, or (with -interproc -json) its own findings envelope. The
+// findings are advisory and never affect the exit code.
+func reportInterproc(rep *lsr.InterprocReport, json bool) {
+	if json {
+		fs := rep.Findings
+		if fs == nil {
+			fs = []lsr.StructuredFinding{}
+		}
+		r := lsr.StructuredReport{Tool: "interproc", Findings: fs, Summary: rep.Totals}
+		if err := lsr.WriteFindings(os.Stdout, r); err != nil {
+			failKind(service.KindInternal, err)
+		}
+		return
+	}
+	fmt.Print(rep.Render())
 }

@@ -68,6 +68,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lsrvet: %v\n", err)
 		os.Exit(2)
 	}
+	if res.Timing != "" {
+		fmt.Fprintf(os.Stderr, "lsrvet: timing: %s\n", res.Timing)
+	}
 	for _, w := range res.Warnings {
 		fmt.Fprintf(os.Stderr, "lsrvet: warning: %s\n", w)
 	}

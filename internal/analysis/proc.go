@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 
+	"repro/internal/dataflow"
 	"repro/internal/regset"
 	"repro/internal/verify"
 	"repro/internal/vm"
@@ -12,7 +13,7 @@ import (
 // are forward DAGs (the verifier reports backward jumps), so a couple
 // of decreasing-address passes converge; the cap only guards malformed
 // code, which is then skipped.
-const maxPasses = 64
+const maxPasses = dataflow.DefaultMaxPasses
 
 // procAnalysis analyzes one procedure extent.
 type procAnalysis struct {
@@ -26,6 +27,7 @@ type procAnalysis struct {
 	frame   int
 	nRegs   int
 	pf      *verify.PathFinder
+	g       *dataflow.Graph
 	rep     *Report
 	cost    *ProcCost
 
@@ -60,6 +62,7 @@ func newProcAnalysis(p *vm.Program, cm vm.CostModel, ext verify.ProcExtent, proc
 		frame:     entry.B,
 		nRegs:     p.Config.NumRegs(),
 		pf:        pf,
+		g:         pf.Graph(),
 		rep:       rep,
 		cost:      &rep.Procs[procIdx],
 		shufflePC: map[int]bool{},
@@ -95,110 +98,102 @@ func (pa *procAnalysis) csRegs() regset.Set {
 	return s
 }
 
+// regLiveProblem is backward may-liveness of registers: uses generate,
+// defs and call clobbers kill, and every procedure exit reads the
+// callee-saves (the caller relies on their values, §2.4).
+type regLiveProblem struct {
+	g  *dataflow.Graph
+	cs regset.Set
+}
+
+func (rp regLiveProblem) New() regset.Set                      { return 0 }
+func (rp regLiveProblem) Merge(dst, src regset.Set) regset.Set { return dst.Union(src) }
+
+func (rp regLiveProblem) Transfer(pc int, out regset.Set) regset.Set {
+	e := rp.g.Effects(pc)
+	in := e.Uses.Union(out.Minus(e.Defs.Union(e.Clobbers)))
+	if e.IsExit {
+		in = in.Union(rp.cs)
+	}
+	return in
+}
+
+func (rp regLiveProblem) Eq(a, b regset.Set) bool { return a == b }
+
 // regLiveness computes backward may-liveness of registers over the
 // extent: regLiveIn[pc] holds r iff some path from pc reads r before
 // any instruction defines or destroys it.
 func (pa *procAnalysis) regLiveness() {
-	n := pa.end - pa.start
-	pa.regLiveIn = make([]regset.Set, n)
-	cs := pa.csRegs()
-	var buf [2]int
-	for pass := 0; pass < maxPasses; pass++ {
-		changed := false
-		for pc := pa.end - 1; pc >= pa.start; pc-- {
-			e := pa.pf.Effects(pc)
-			var out regset.Set
-			for _, succ := range pa.pf.Succs(pc, buf[:]) {
-				out = out.Union(pa.regLiveIn[succ-pa.start])
-			}
-			in := e.Uses.Union(out.Minus(e.Defs.Union(e.Clobbers)))
-			if e.IsExit {
-				in = in.Union(cs)
-			}
-			if in != pa.regLiveIn[pc-pa.start] {
-				pa.regLiveIn[pc-pa.start] = in
-				changed = true
-			}
-		}
-		if !changed {
-			return
-		}
-	}
+	pa.regLiveIn, _ = dataflow.SolveBackward[regset.Set](pa.g, pa.regProblem(), maxPasses)
+}
+
+func (pa *procAnalysis) regProblem() regLiveProblem {
+	return regLiveProblem{g: pa.g, cs: pa.csRegs()}
 }
 
 // regLiveOut reports whether register r is live immediately after pc.
 func (pa *procAnalysis) regLiveOut(pc, r int) bool {
-	var buf [2]int
-	for _, succ := range pa.pf.Succs(pc, buf[:]) {
-		if pa.regLiveIn[succ-pa.start].Has(r) {
-			return true
+	return dataflow.MergeOut[regset.Set](pa.g, pa.regProblem(), pa.regLiveIn, pc).Has(r)
+}
+
+// slotLiveProblem is backward may-liveness of frame slots: reads
+// generate (tail-call stack arguments and prim slot operands count —
+// vm.Effects.ReadSlots covers both), writes kill. States are bitsets
+// over the frame.
+type slotLiveProblem struct {
+	g     *dataflow.Graph
+	frame int
+	words int
+}
+
+func (sp slotLiveProblem) New() []uint64 { return make([]uint64, sp.words) }
+
+func (sp slotLiveProblem) Merge(dst, src []uint64) []uint64 {
+	for w := range dst {
+		dst[w] |= src[w]
+	}
+	return dst
+}
+
+func (sp slotLiveProblem) Transfer(pc int, out []uint64) []uint64 {
+	e := sp.g.Effects(pc)
+	for _, s := range e.WriteSlots {
+		if s >= 0 && s < sp.frame {
+			out[s/64] &^= 1 << (s % 64)
 		}
 	}
-	return false
+	for _, s := range e.ReadSlots {
+		if s >= 0 && s < sp.frame {
+			out[s/64] |= 1 << (s % 64)
+		}
+	}
+	return out
+}
+
+func (sp slotLiveProblem) Eq(a, b []uint64) bool {
+	for w := range a {
+		if a[w] != b[w] {
+			return false
+		}
+	}
+	return true
 }
 
 // slotLiveness computes backward may-liveness of frame slots:
 // slotLiveIn[pc] holds slot s iff some path from pc reads fp[s] before
-// any instruction overwrites it. Tail-call stack arguments and prim
-// slot operands count as reads (vm.Effects.ReadSlots covers both).
+// any instruction overwrites it.
 func (pa *procAnalysis) slotLiveness() {
-	n := pa.end - pa.start
-	words := (pa.frame + 63) / 64
-	pa.slotLiveIn = make([][]uint64, n)
-	for i := range pa.slotLiveIn {
-		pa.slotLiveIn[i] = make([]uint64, words)
-	}
-	if words == 0 {
-		return
-	}
-	next := make([]uint64, words)
-	var buf [2]int
-	for pass := 0; pass < maxPasses; pass++ {
-		changed := false
-		for pc := pa.end - 1; pc >= pa.start; pc-- {
-			e := pa.pf.Effects(pc)
-			for w := range next {
-				next[w] = 0
-			}
-			for _, succ := range pa.pf.Succs(pc, buf[:]) {
-				sp := pa.slotLiveIn[succ-pa.start]
-				for w := range next {
-					next[w] |= sp[w]
-				}
-			}
-			for _, s := range e.WriteSlots {
-				if s >= 0 && s < pa.frame {
-					next[s/64] &^= 1 << (s % 64)
-				}
-			}
-			for _, s := range e.ReadSlots {
-				if s >= 0 && s < pa.frame {
-					next[s/64] |= 1 << (s % 64)
-				}
-			}
-			in := pa.slotLiveIn[pc-pa.start]
-			for w := range next {
-				if next[w] != in[w] {
-					in[w] = next[w]
-					changed = true
-				}
-			}
-		}
-		if !changed {
-			return
-		}
-	}
+	pa.slotLiveIn, _ = dataflow.SolveBackward[[]uint64](pa.g, pa.slotProblem(), maxPasses)
+}
+
+func (pa *procAnalysis) slotProblem() slotLiveProblem {
+	return slotLiveProblem{g: pa.g, frame: pa.frame, words: (pa.frame + 63) / 64}
 }
 
 // slotLiveOut reports whether frame slot s is live immediately after pc.
 func (pa *procAnalysis) slotLiveOut(pc, s int) bool {
-	var buf [2]int
-	for _, succ := range pa.pf.Succs(pc, buf[:]) {
-		if pa.slotLiveIn[succ-pa.start][s/64]&(1<<(s%64)) != 0 {
-			return true
-		}
-	}
-	return false
+	out := dataflow.MergeOut[[]uint64](pa.g, pa.slotProblem(), pa.slotLiveIn, pc)
+	return out[s/64]&(1<<(s%64)) != 0
 }
 
 // checkSavesAndRestores scans the extent for the two liveness-based

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/compiler"
+	"repro/internal/dataflow"
+)
+
+// ArenaSweep runs the arena-lifetime escape analysis (DESIGN.md §15)
+// over every benchmark under the paper configuration, then over the
+// seeded-violation corpus. The sweep is a two-sided gate: the emitted
+// code must analyze clean (no value derived from a per-machine arena
+// escapes into Program-lifetime storage or a pre-store read), and every
+// corpus entry must still be caught (so the analysis itself cannot
+// silently go blind). The error is non-nil when either side fails.
+func ArenaSweep(progs []*Program) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Arena-lifetime escape analysis (saves=lazy restores=eager)\n")
+	fmt.Fprintf(&b, "%-12s %7s %9s %8s %7s %8s\n",
+		"program", "extents", "mutconsts", "taintedg", "hazard", "findings")
+	var firstErr error
+	for _, p := range progs {
+		compiled, err := compiler.Compile(p.Source, PaperOptions())
+		if err != nil {
+			return b.String(), fmt.Errorf("%s: %w", p.Name, err)
+		}
+		rep := dataflow.AnalyzeArena(compiled.Program, dataflow.ArenaOptions{})
+		t := rep.Totals
+		fmt.Fprintf(&b, "%-12s %7d %9d %8d %7v %8d\n",
+			p.Name, t.Extents, t.MutableConsts, t.TaintedGlobals, t.MutationHazard, len(rep.Findings))
+		if !rep.Clean() && firstErr == nil {
+			firstErr = fmt.Errorf("%s: arena analysis found %d violation(s):\n%s",
+				p.Name, len(rep.Findings), rep.Render())
+		}
+	}
+
+	missing := dataflow.CheckArenaCorpus()
+	names := make([]string, 0, len(missing))
+	for name := range missing {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	caught := 0
+	for _, name := range names {
+		if len(missing[name]) == 0 {
+			caught++
+		} else if firstErr == nil {
+			firstErr = fmt.Errorf("seeded violation %s not caught: missing kinds %v", name, missing[name])
+		}
+	}
+	fmt.Fprintf(&b, "seeded-violation corpus: %d/%d caught\n", caught, len(names))
+	return b.String(), firstErr
+}

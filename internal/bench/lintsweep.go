@@ -7,6 +7,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/codegen"
 	"repro/internal/compiler"
+	"repro/internal/dataflow"
 	"repro/internal/vm"
 )
 
@@ -127,4 +128,51 @@ func WasteTable(progs []*Program) (string, error) {
 		}
 	}
 	return b.String(), firstErr
+}
+
+// InterprocAudit runs the interprocedural save/restore analysis over
+// every benchmark under the paper configuration. For each program it
+// reports how many call sites resolved to a callee clobber summary
+// sharper than the conservative everything-clobbered assumption, the
+// static save/restore sites, and the cross-call waste — restores of
+// values provably still in their registers, and saves read only by such
+// restores. The waste is advisory: it measures the headroom an
+// interprocedural register allocator would have over the paper's
+// per-procedure one, not emitter bugs (removing the flagged
+// instructions would break the allocator's own contract and trip
+// -validate).
+func InterprocAudit(progs []*Program) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Interprocedural waste audit (saves=lazy restores=eager)\n")
+	fmt.Fprintf(&b, "%-12s %6s %7s %7s %7s %7s %8s %7s\n",
+		"program", "sites", "resolv", "s-save", "s-rest", "x-dead", "x-redun", "dead%")
+	var tot dataflow.InterprocStats
+	for _, p := range progs {
+		compiled, err := compiler.Compile(p.Source, PaperOptions())
+		if err != nil {
+			return b.String(), fmt.Errorf("%s: %w", p.Name, err)
+		}
+		t := dataflow.AnalyzeInterproc(compiled.Program).Totals
+		fmt.Fprintf(&b, "%-12s %6d %7d %7d %7d %7d %8d %6.1f%%\n",
+			p.Name, t.CallSites, t.ResolvedSites, t.Saves, t.Restores,
+			t.CrossDeadRestores, t.CrossRedundantSaves, deadPct(t))
+		tot.CallSites += t.CallSites
+		tot.ResolvedSites += t.ResolvedSites
+		tot.Saves += t.Saves
+		tot.Restores += t.Restores
+		tot.CrossDeadRestores += t.CrossDeadRestores
+		tot.CrossRedundantSaves += t.CrossRedundantSaves
+	}
+	fmt.Fprintf(&b, "%-12s %6d %7d %7d %7d %7d %8d %6.1f%%\n",
+		"TOTAL", tot.CallSites, tot.ResolvedSites, tot.Saves, tot.Restores,
+		tot.CrossDeadRestores, tot.CrossRedundantSaves, deadPct(tot))
+	return b.String(), nil
+}
+
+// deadPct is the share of static restores that are cross-call dead.
+func deadPct(t dataflow.InterprocStats) float64 {
+	if t.Restores == 0 {
+		return 0
+	}
+	return 100 * float64(t.CrossDeadRestores) / float64(t.Restores)
 }

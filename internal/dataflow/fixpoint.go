@@ -1,0 +1,127 @@
+package dataflow
+
+// The generic fixpoint engines. Both iterate the extent in address
+// order (forward: increasing pc, backward: decreasing pc) repeatedly
+// until no state changes: procedure bodies are forward DAGs emitted in
+// topological order, so a single pass normally converges, and the
+// schedule exactly matches the loops internal/verify and
+// internal/analysis used before the refactor — which is what keeps
+// their findings reproducible bit-for-bit. The pass cap only trips on
+// malformed code (e.g. an irreducible backward-jump tangle), which the
+// caller then reports as unverifiable/unanalyzable.
+
+// DefaultMaxPasses bounds a fixpoint run. The emitter never needs more
+// than one or two passes; the cap guards hand-built hostile inputs.
+const DefaultMaxPasses = 64
+
+// ForwardProblem is a forward dataflow problem: abstract states flow
+// from the extent entry along control edges. S is the per-program-point
+// state (a struct, a slice, or any value the three methods agree on).
+type ForwardProblem[S any] interface {
+	// Entry is the abstract state before the first instruction.
+	Entry() S
+	// Transfer applies the instruction at pc to s — which the engine
+	// owns (a clone) — and returns the state after it. It may mutate s.
+	Transfer(pc int, s S) S
+	// Clone returns an independent copy of s.
+	Clone(s S) S
+	// Join merges src into dst and reports whether dst changed. It must
+	// not mutate src, and must be idempotent, commutative and monotone
+	// so the fixpoint is schedule-independent.
+	Join(dst, src S) (S, bool)
+}
+
+// SolveForward computes the forward fixpoint over g. It returns the
+// in-state before every reachable instruction (indexed pc-Start), the
+// reachability mask, and whether the fixpoint converged within
+// maxPasses sweeps.
+func SolveForward[S any](g *Graph, p ForwardProblem[S], maxPasses int) (in []S, reached []bool, converged bool) {
+	n := g.end - g.start
+	in = make([]S, n)
+	reached = make([]bool, n)
+	in[0] = p.Entry()
+	reached[0] = true
+	var buf [2]int
+	for pass := 0; pass < maxPasses; pass++ {
+		changed := false
+		for pc := g.start; pc < g.end; pc++ {
+			if !reached[pc-g.start] {
+				continue
+			}
+			out := p.Transfer(pc, p.Clone(in[pc-g.start]))
+			for _, succ := range g.Succs(pc, buf[:]) {
+				i := succ - g.start
+				if !reached[i] {
+					in[i] = p.Clone(out)
+					reached[i] = true
+					changed = true
+				} else if nv, ch := p.Join(in[i], out); ch {
+					in[i] = nv
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return in, reached, true
+		}
+	}
+	return in, reached, false
+}
+
+// BackwardProblem is a backward may-analysis: facts flow from every
+// instruction to its predecessors. The in-state of pc is
+// Transfer(pc, ⋃ in[succ]).
+type BackwardProblem[S any] interface {
+	// New returns the bottom (empty) state.
+	New() S
+	// Merge unions src into dst and returns dst. It may mutate dst but
+	// must not mutate src.
+	Merge(dst, src S) S
+	// Transfer computes the in-state from the merged successor state
+	// out, which the engine owns; it may mutate out.
+	Transfer(pc int, out S) S
+	// Eq reports whether two states are equal (the convergence test).
+	Eq(a, b S) bool
+}
+
+// SolveBackward computes the backward fixpoint over g, returning the
+// in-state of every instruction (indexed pc-Start) and whether the
+// fixpoint converged within maxPasses sweeps. The out-state of a pc is
+// not stored; recover it with MergeOut.
+func SolveBackward[S any](g *Graph, p BackwardProblem[S], maxPasses int) (in []S, converged bool) {
+	n := g.end - g.start
+	in = make([]S, n)
+	for i := range in {
+		in[i] = p.New()
+	}
+	var buf [2]int
+	for pass := 0; pass < maxPasses; pass++ {
+		changed := false
+		for pc := g.end - 1; pc >= g.start; pc-- {
+			out := p.New()
+			for _, succ := range g.Succs(pc, buf[:]) {
+				out = p.Merge(out, in[succ-g.start])
+			}
+			next := p.Transfer(pc, out)
+			if !p.Eq(next, in[pc-g.start]) {
+				changed = true
+			}
+			in[pc-g.start] = next
+		}
+		if !changed {
+			return in, true
+		}
+	}
+	return in, false
+}
+
+// MergeOut reconstructs the out-state of pc from a solved backward
+// problem: the union of the in-states of pc's successors.
+func MergeOut[S any](g *Graph, p BackwardProblem[S], in []S, pc int) S {
+	out := p.New()
+	var buf [2]int
+	for _, succ := range g.Succs(pc, buf[:]) {
+		out = p.Merge(out, in[succ-g.start])
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package dataflow_test
+
+import (
+	"testing"
+
+	"repro/internal/dataflow"
+	"repro/internal/regset"
+	"repro/internal/vm"
+)
+
+// Hand-built effects for engine tests: tiny CFGs with known answers.
+
+func fall() vm.Effects             { return vm.Effects{Jump: -1, FallsThrough: true} }
+func branch(target int) vm.Effects { return vm.Effects{Jump: target, FallsThrough: true} }
+func jump(target int) vm.Effects   { return vm.Effects{Jump: target} }
+func exit() vm.Effects             { return vm.Effects{Jump: -1, IsExit: true} }
+func def(r int) vm.Effects         { e := fall(); e.Defs = e.Defs.Add(r); return e }
+func use(r int) vm.Effects         { e := fall(); e.Uses = e.Uses.Add(r); return e }
+
+// maybeDefined is a forward may-analysis: the set of registers some
+// path has defined.
+type maybeDefined struct{ g *dataflow.Graph }
+
+func (md maybeDefined) Entry() regset.Set { return 0 }
+func (md maybeDefined) Transfer(pc int, s regset.Set) regset.Set {
+	return s.Union(md.g.Effects(pc).Defs)
+}
+func (md maybeDefined) Clone(s regset.Set) regset.Set { return s }
+func (md maybeDefined) Join(dst, src regset.Set) (regset.Set, bool) {
+	nv := dst.Union(src)
+	return nv, nv != dst
+}
+
+func TestSolveForwardDiamond(t *testing.T) {
+	// 0: branch to 3 | 1: def r1 | 2: jump 4 | 3: def r2 | 4: exit
+	eff := []vm.Effects{branch(3), def(1), jump(4), def(2), exit()}
+	g := dataflow.GraphFromEffects(0, len(eff), eff)
+	in, reached, converged := dataflow.SolveForward[regset.Set](g, maybeDefined{g}, dataflow.DefaultMaxPasses)
+	if !converged {
+		t.Fatalf("diamond did not converge")
+	}
+	for pc, r := range reached {
+		if !r {
+			t.Fatalf("pc %d unreached", pc)
+		}
+	}
+	var none regset.Set
+	wantIn := []regset.Set{none, none, none.Add(1), none, none.Add(1).Add(2)}
+	for pc, want := range wantIn {
+		if in[pc] != want {
+			t.Errorf("in[%d] = %v, want %v", pc, in[pc], want)
+		}
+	}
+}
+
+func TestSolveForwardUnreachable(t *testing.T) {
+	// 1 is dead: 0 jumps straight to 2.
+	eff := []vm.Effects{jump(2), def(1), exit()}
+	g := dataflow.GraphFromEffects(0, len(eff), eff)
+	_, reached, converged := dataflow.SolveForward[regset.Set](g, maybeDefined{g}, dataflow.DefaultMaxPasses)
+	if !converged {
+		t.Fatalf("did not converge")
+	}
+	if reached[1] {
+		t.Errorf("dead pc 1 marked reached")
+	}
+	if !reached[0] || !reached[2] {
+		t.Errorf("live pcs unreached: %v", reached)
+	}
+}
+
+// liveRegs is backward may-liveness over registers, mirroring the shape
+// internal/analysis uses.
+type liveRegs struct{ g *dataflow.Graph }
+
+func (lr liveRegs) New() regset.Set                      { return 0 }
+func (lr liveRegs) Merge(dst, src regset.Set) regset.Set { return dst.Union(src) }
+func (lr liveRegs) Transfer(pc int, out regset.Set) regset.Set {
+	e := lr.g.Effects(pc)
+	return e.Uses.Union(out.Minus(e.Defs))
+}
+func (lr liveRegs) Eq(a, b regset.Set) bool { return a == b }
+
+func TestSolveBackwardLoop(t *testing.T) {
+	// 0: def r1 | 1: use r1, branch back to 1 | 2: use r2, exit
+	useLoop := use(1)
+	useLoop.Jump = 1
+	useExit := vm.Effects{Jump: -1, IsExit: true}
+	useExit.Uses = useExit.Uses.Add(2)
+	eff := []vm.Effects{def(1), useLoop, useExit}
+	g := dataflow.GraphFromEffects(0, len(eff), eff)
+	in, converged := dataflow.SolveBackward[regset.Set](g, liveRegs{g}, dataflow.DefaultMaxPasses)
+	if !converged {
+		t.Fatalf("loop did not converge")
+	}
+	var none regset.Set
+	wantIn := []regset.Set{none.Add(2), none.Add(1).Add(2), none.Add(2)}
+	for pc, want := range wantIn {
+		if in[pc] != want {
+			t.Errorf("in[%d] = %v, want %v", pc, in[pc], want)
+		}
+	}
+	// The loop body has a back-edge, so its out-state includes its own
+	// in-state; MergeOut must union both successors.
+	out := dataflow.MergeOut[regset.Set](g, liveRegs{g}, in, 1)
+	if want := none.Add(1).Add(2); out != want {
+		t.Errorf("MergeOut(1) = %v, want %v", out, want)
+	}
+	if out := dataflow.MergeOut[regset.Set](g, liveRegs{g}, in, 2); out != 0 {
+		t.Errorf("MergeOut(exit) = %v, want empty", out)
+	}
+}
+
+func TestBlocksOnLoop(t *testing.T) {
+	// 0 falls into a two-instruction loop header; the back-edge makes 1
+	// a leader, and 3 is a leader as the branch fall-through.
+	eff := []vm.Effects{fall(), fall(), branch(1), exit()}
+	g := dataflow.GraphFromEffects(0, len(eff), eff)
+	blocks := g.Blocks()
+	starts := make([]int, len(blocks))
+	for i, b := range blocks {
+		starts[i] = b.Start
+	}
+	want := []int{0, 1, 3}
+	if len(starts) != len(want) {
+		t.Fatalf("block starts %v, want %v", starts, want)
+	}
+	for i := range want {
+		if starts[i] != want[i] {
+			t.Fatalf("block starts %v, want %v", starts, want)
+		}
+	}
+	// The loop block's successors are itself and the exit block.
+	b1 := blocks[1]
+	if len(b1.Succs) != 2 {
+		t.Fatalf("loop block succs %v", b1.Succs)
+	}
+}

@@ -1,0 +1,112 @@
+package dataflow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/dataflow"
+	"repro/internal/findings"
+	"repro/internal/vm"
+)
+
+// callSrc saves x across the call to g and eagerly restores it. g is a
+// leaf that never touches x's register, so interprocedurally the save
+// and restore are both removable — but the intraprocedural lint cannot
+// see that: the slot IS read (by the restore) and the register IS read
+// (by the +), so neither redundant-save nor dead-restore fires. This is
+// the precision gap the interprocedural pass exists to measure.
+const callSrc = `(define (g y) (* y 2)) (define (f x) (+ (g x) x)) (f 3)`
+
+func findingsOfKind(fs []findings.Finding, kind string) []findings.Finding {
+	var out []findings.Finding
+	for _, f := range fs {
+		if f.Kind == kind {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func TestInterprocFindsCrossCallWaste(t *testing.T) {
+	p := mustCompile(t, callSrc)
+	rep := dataflow.AnalyzeInterproc(p)
+
+	dead := findingsOfKind(rep.Findings, dataflow.KindCrossCallDeadRestore)
+	redundant := findingsOfKind(rep.Findings, dataflow.KindCrossCallRedundantSave)
+	if len(dead) == 0 {
+		t.Fatalf("no cross-call-dead-restore in:\n%s\n%s", p.Disassemble(), rep.Render())
+	}
+	if len(redundant) == 0 {
+		t.Fatalf("no cross-call-redundant-save in:\n%s\n%s", p.Disassemble(), rep.Render())
+	}
+	// The pair must be x's save/restore (same slot), not ret's: the
+	// callee summary includes ret (the call writes it), so ret's
+	// restore is genuinely needed.
+	if redundant[0].Slot != dead[0].Slot {
+		t.Errorf("save slot %d, dead restore slot %d", redundant[0].Slot, dead[0].Slot)
+	}
+	for _, f := range append(dead, redundant...) {
+		if f.Proc != "f" {
+			t.Errorf("finding in %q, want f: %+v", f.Proc, f)
+		}
+		if len(f.Witness) == 0 {
+			t.Errorf("finding carries no witness: %+v", f)
+		}
+		if f.CallPC < 0 {
+			t.Errorf("finding carries no call pc: %+v", f)
+		}
+	}
+	// ret's restore must NOT be flagged: every call writes ret.
+	for _, f := range dead {
+		if f.Reg == vm.RegRet {
+			t.Errorf("ret restore flagged dead: %+v", f)
+		}
+	}
+
+	// The intraprocedural lint misses both sites — that is the point.
+	old := analysis.Analyze(p)
+	for _, f := range old.Findings {
+		if f.Kind == analysis.RedundantSave && f.PC == redundant[0].PC {
+			t.Errorf("old lint already flags the save at pc %d", f.PC)
+		}
+		if f.Kind == analysis.DeadRestore && f.PC == dead[0].PC {
+			t.Errorf("old lint already flags the restore at pc %d", f.PC)
+		}
+	}
+
+	if rep.Totals.CallSites == 0 || rep.Totals.ResolvedSites == 0 {
+		t.Errorf("no resolved call sites: %+v", rep.Totals)
+	}
+	if rep.Totals.CrossDeadRestores != len(dead) || rep.Totals.CrossRedundantSaves != len(redundant) {
+		t.Errorf("totals disagree with findings: %+v", rep.Totals)
+	}
+}
+
+// TestInterprocUnknownCalleeConservative checks that a call through a
+// rebindable global (stored twice with different procedures) resolves
+// to unknown and suppresses the findings.
+func TestInterprocUnknownCalleeConservative(t *testing.T) {
+	src := `(define (g y) (* y 2))
+	        (define (h y) (+ y 1))
+	        (define (pick b) (if b g h))
+	        (define (f x) (+ ((pick #t) x) x))
+	        (f 3)`
+	p := mustCompile(t, src)
+	rep := dataflow.AnalyzeInterproc(p)
+	for _, f := range rep.Findings {
+		if f.Proc == "f" {
+			t.Errorf("finding in f despite unknown callee: %+v", f)
+		}
+	}
+}
+
+func TestInterprocCallCCUnresolved(t *testing.T) {
+	src := `(define (f x) (+ (call/cc (lambda (k) (k x))) x)) (f 3)`
+	p := mustCompile(t, src)
+	rep := dataflow.AnalyzeInterproc(p)
+	for _, f := range rep.Findings {
+		if f.Proc == "f" {
+			t.Errorf("finding in f despite call/cc: %+v", f)
+		}
+	}
+}

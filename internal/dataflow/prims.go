@@ -1,0 +1,149 @@
+package dataflow
+
+import (
+	"repro/internal/prim"
+)
+
+// Primitive effect classification for the arena-lifetime analysis
+// (arena.go). Pair cells come from a per-machine arena that
+// Machine.Recycle invalidates wholesale, so the analysis must know, for
+// every primitive, whether its result can contain freshly
+// arena-allocated cells, whether its result can share mutable structure
+// with an argument, and whether it mutates an argument in place. The
+// table below classifies every primitive in the runtime; the
+// exhaustiveness test (arena_test.go) walks prim.All() and fails if a
+// newly added primitive has no entry, so the classification cannot
+// silently rot.
+
+// PrimEffect describes one primitive's behaviour with respect to
+// mutable structure and the pair arena.
+type PrimEffect struct {
+	// AllocatesPairs reports that the result may contain pair cells
+	// freshly drawn from the machine's arena (prim.Ctx.Cons).
+	AllocatesPairs bool
+	// Derives reports that the result may share mutable structure
+	// (pairs, vectors, boxes) with an argument, so lifetime taint flows
+	// from arguments to the result.
+	Derives bool
+	// MutatesArg is the index of the argument whose structure the
+	// primitive mutates in place, or -1 for pure primitives.
+	MutatesArg int
+	// StoresArg is the index of the argument the mutation stores into
+	// the mutated structure, or -1.
+	StoresArg int
+}
+
+// Effect shorthands for the table.
+var (
+	// effPure: result carries no mutable structure and aliases nothing
+	// (numbers, booleans, characters, symbols, fresh strings, output).
+	effPure = PrimEffect{MutatesArg: -1, StoresArg: -1}
+	// effCons: result is fresh arena structure containing the arguments.
+	effCons = PrimEffect{AllocatesPairs: true, Derives: true, MutatesArg: -1, StoresArg: -1}
+	// effDerive: result may alias argument structure (selectors,
+	// containers built on the Go heap whose elements are the arguments).
+	effDerive = PrimEffect{Derives: true, MutatesArg: -1, StoresArg: -1}
+	// effListOf: result is a fresh arena list of non-aliasing elements
+	// (string->list: characters are immediates).
+	effListOf = PrimEffect{AllocatesPairs: true, MutatesArg: -1, StoresArg: -1}
+	// effListOfElems: fresh arena spine whose elements alias the
+	// argument's elements (vector->list).
+	effListOfElems = PrimEffect{AllocatesPairs: true, Derives: true, MutatesArg: -1, StoresArg: -1}
+)
+
+// mut builds a mutator effect: argument m is mutated in place, argument
+// s is stored into it. Mutators return unspecified, so the result
+// itself aliases nothing.
+func mut(m, s int) PrimEffect { return PrimEffect{MutatesArg: m, StoresArg: s} }
+
+// primEffects classifies every primitive by name. Keep in sync with
+// the runtime's table (internal/prim); the exhaustiveness test enforces
+// the sync in both directions.
+var primEffects = map[string]PrimEffect{
+	// Arithmetic and numeric predicates: immediates and flonum boxes
+	// only, no mutable structure anywhere.
+	"*": effPure, "+": effPure, "-": effPure, "/": effPure,
+	"1+": effPure, "1-": effPure, "add1": effPure, "sub1": effPure,
+	"<": effPure, "<=": effPure, "=": effPure, ">": effPure, ">=": effPure,
+	"abs": effPure, "ash": effPure, "atan": effPure, "cos": effPure,
+	"even?": effPure, "expt": effPure, "exact->inexact": effPure,
+	"floor": effPure, "inexact->exact": effPure, "logand": effPure,
+	"logor": effPure, "logxor": effPure, "max": effPure, "min": effPure,
+	"modulo": effPure, "negative?": effPure, "odd?": effPure,
+	"positive?": effPure, "quotient": effPure, "remainder": effPure,
+	"sin": effPure, "sqrt": effPure, "truncate": effPure, "zero?": effPure,
+
+	// Type and equality predicates: booleans out.
+	"boolean?": effPure, "box?": effPure, "char?": effPure,
+	"eq?": effPure, "equal?": effPure, "eqv?": effPure,
+	"fixnum?": effPure, "flonum?": effPure, "integer?": effPure,
+	"null?": effPure, "number?": effPure, "pair?": effPure,
+	"procedure?": effPure, "string?": effPure, "symbol?": effPure,
+	"vector?": effPure,
+
+	// Characters: immediates in, immediates or booleans out.
+	"char->integer": effPure, "char-alphabetic?": effPure,
+	"char-numeric?": effPure, "char-upcase": effPure,
+	"char<=?": effPure, "char<?": effPure, "char=?": effPure,
+	"char>=?": effPure, "char>?": effPure, "integer->char": effPure,
+
+	// Strings and symbols: string boxes are freshly allocated on the Go
+	// heap and contain no pairs or vectors, so nothing aliases and
+	// nothing lives in the arena.
+	"gensym": effPure, "list->string": effPure, "number->string": effPure,
+	"string->number": effPure, "string->symbol": effPure,
+	"string-append": effPure, "string-length": effPure,
+	"string-ref": effPure, "string<?": effPure, "string=?": effPure,
+	"substring": effPure, "symbol->string": effPure,
+
+	// Output and control: no result structure.
+	"display": effPure, "error": effPure, "newline": effPure,
+	"void": effPure, "write": effPure, "write-char": effPure,
+
+	// Pair constructors and selectors. cons and list draw fresh cells
+	// from the arena AND embed their arguments; the c[ad]+r selectors
+	// return sub-structure of their argument.
+	"cons": effCons, "list": effCons,
+	"car": effDerive, "cdr": effDerive,
+	"caar": effDerive, "cadr": effDerive, "cdar": effDerive, "cddr": effDerive,
+	"caaar": effDerive, "caadr": effDerive, "cadar": effDerive, "caddr": effDerive,
+	"cdaar": effDerive, "cdadr": effDerive, "cddar": effDerive, "cdddr": effDerive,
+
+	// Vectors and boxes: the containers live on the Go heap, but their
+	// elements alias the arguments (or the argument's elements), so
+	// taint still flows through them.
+	"box": effDerive, "unbox": effDerive,
+	"vector": effDerive, "make-vector": effDerive, "vector-ref": effDerive,
+	"vector-length": effPure,
+	"list->vector":  effDerive,
+	"vector->list":  effListOfElems,
+	"string->list":  effListOf,
+
+	// Mutators: argument 0 is mutated in place; the stored argument's
+	// lifetime now flows into every structure that can reach argument 0.
+	"set-car!":     mut(0, 1),
+	"set-cdr!":     mut(0, 1),
+	"set-box!":     mut(0, 1),
+	"vector-set!":  mut(0, 2),
+	"vector-fill!": mut(0, 1),
+}
+
+// PrimEffectOf looks up the effect classification of d. ok is false for
+// a primitive missing from the table; callers must treat that as fully
+// conservative (allocates, derives, mutates everything) and the
+// exhaustiveness test keeps the case from occurring in practice.
+func PrimEffectOf(d *prim.Def) (PrimEffect, bool) {
+	if d == nil {
+		return PrimEffect{}, false
+	}
+	e, ok := primEffects[string(d.Name)]
+	return e, ok
+}
+
+// conservativePrimEffect is the fallback for unknown primitives: assume
+// the worst on every axis. MutatesArg/StoresArg use argument 0 as a
+// stand-in; analyses seeing ok=false from PrimEffectOf should treat
+// every argument as both mutated and stored.
+var conservativePrimEffect = PrimEffect{
+	AllocatesPairs: true, Derives: true, MutatesArg: 0, StoresArg: 0,
+}

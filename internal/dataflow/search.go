@@ -1,0 +1,121 @@
+package dataflow
+
+// Shortest-path searches over the CFG, used to build the witness paths
+// attached to findings: a reported violation carries one concrete
+// static path a developer can read, not just a program point.
+
+// PathFrom finds a shortest path beginning at from and ending at the
+// first instruction satisfying stop. Nodes for which avoid returns true
+// are not traversed (avoid may be nil); the stop node itself is still
+// tested before its avoid status matters. It returns nil when no such
+// path exists.
+func (g *Graph) PathFrom(from int, stop func(pc int) bool, avoid func(pc int) bool) []int {
+	if from < g.start || from >= g.end {
+		return nil
+	}
+	if stop(from) {
+		return []int{from}
+	}
+	if avoid != nil && avoid(from) {
+		return nil
+	}
+	n := g.end - g.start
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[from-g.start] = int32(from)
+	queue := []int{from}
+	var buf [2]int
+	for len(queue) > 0 {
+		pc := queue[0]
+		queue = queue[1:]
+		for _, succ := range g.Succs(pc, buf[:]) {
+			i := succ - g.start
+			if parent[i] >= 0 {
+				continue
+			}
+			parent[i] = int32(pc)
+			if stop(succ) {
+				var rev []int
+				for at := succ; at != from; at = int(parent[at-g.start]) {
+					rev = append(rev, at)
+				}
+				rev = append(rev, from)
+				path := make([]int, len(rev))
+				for j, p := range rev {
+					path[len(rev)-1-j] = p
+				}
+				return path
+			}
+			if avoid != nil && avoid(succ) {
+				continue
+			}
+			queue = append(queue, succ)
+		}
+	}
+	return nil
+}
+
+// WitnessPath finds any shortest path from the extent start to target.
+func (g *Graph) WitnessPath(target int) []int {
+	return g.PathFrom(g.start, func(pc int) bool { return pc == target }, nil)
+}
+
+// CellPath finds a shortest path from the extent start to target
+// arriving with a simulated single cell in state want. The cell starts
+// in state init; trans advances it across the instruction at pc; states
+// are small integers in [0, numStates). The search runs a BFS over
+// (pc, cell-state) nodes — far cheaper than replaying a full abstract
+// state, and enough to pick the path a developer should read. When no
+// such path exists it falls back to any shortest path to target.
+func (g *Graph) CellPath(target int, init, want uint8, numStates int, trans func(pc int, k uint8) uint8) []int {
+	n := g.end - g.start
+	parent := make([]int32, n*numStates)
+	for i := range parent {
+		parent[i] = -1
+	}
+	node := func(pc int, k uint8) int { return (pc-g.start)*numStates + int(k) }
+	startNode := node(g.start, init)
+	parent[startNode] = int32(startNode)
+	queue := []int{startNode}
+	goal := -1
+	if g.start == target && init == want {
+		goal = startNode
+	}
+	var buf [2]int
+	for len(queue) > 0 && goal < 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		pc := g.start + cur/numStates
+		k := uint8(cur % numStates)
+		nk := trans(pc, k)
+		for _, succ := range g.Succs(pc, buf[:]) {
+			nn := node(succ, nk)
+			if parent[nn] >= 0 {
+				continue
+			}
+			parent[nn] = int32(cur)
+			if succ == target && nk == want {
+				goal = nn
+				break
+			}
+			queue = append(queue, nn)
+		}
+	}
+	if goal < 0 {
+		return g.WitnessPath(target)
+	}
+	var rev []int
+	for at := goal; ; at = int(parent[at]) {
+		rev = append(rev, g.start+at/numStates)
+		if at == int(parent[at]) {
+			break
+		}
+	}
+	path := make([]int, len(rev))
+	for i, pc := range rev {
+		path[len(rev)-1-i] = pc
+	}
+	return path
+}

@@ -1,0 +1,145 @@
+package dataflow
+
+import (
+	"repro/internal/regset"
+	"repro/internal/vm"
+)
+
+// Per-procedure summaries: the transitive may-clobber register set —
+// every register a call to the procedure may leave changed when it
+// returns. Computed bottom-up over the call graph by a fixpoint (the
+// graph may be cyclic through recursion): a procedure's summary is its
+// own direct register writes plus the summary of every callee it can
+// reach, with unknown callees widening to the full caller-save set.
+//
+// Two registers are excluded by the calling convention rather than by
+// inspection: ret and the callee-save registers, which every verified
+// procedure restores before exiting (internal/verify proves this at
+// each exit). The summaries are therefore statements about programs
+// that pass verification. The call instruction's own writes (ret, rv)
+// are added back per site by CallEffect.
+
+// Summaries holds the solved per-procedure clobber summaries.
+type Summaries struct {
+	cg *CallGraph
+	// ByProc is the may-clobber set per procedure table index.
+	ByProc []regset.Set
+	// Resolved reports whether the procedure's summary is better than
+	// the conservative full set (its body was analyzable and every call
+	// in its transitive closure resolved or was itself summarized).
+	Resolved []bool
+
+	full      regset.Set // caller-save universe incl. rv
+	preserved regset.Set // ret + callee-saves, proven restored at exits
+}
+
+// ComputeSummaries solves the clobber summaries for cg.
+func ComputeSummaries(cg *CallGraph) *Summaries {
+	p := cg.Prog
+	cfg := p.Config
+	s := &Summaries{
+		cg:       cg,
+		ByProc:   make([]regset.Set, len(p.Procs)),
+		Resolved: make([]bool, len(p.Procs)),
+		full:     regset.Universe(cfg.CallerSaveLimit()),
+	}
+	s.preserved = regset.Single(vm.RegRet)
+	for i := 0; i < cfg.CalleeSaveRegs; i++ {
+		s.preserved = s.preserved.Add(cfg.CalleeSaveReg(i))
+	}
+
+	// Direct writes per extent (calls contribute only their own ret/rv
+	// writes here; callee effects join in during the fixpoint below).
+	direct := make([]regset.Set, len(cg.Extents))
+	sitesOf := make([][]int, len(cg.Extents))
+	for i := range cg.Extents {
+		g := cg.Graphs[i]
+		if g == nil {
+			continue
+		}
+		var d regset.Set
+		for pc := g.Start(); pc < g.End(); pc++ {
+			switch p.Code[pc].Op {
+			case vm.OpCall, vm.OpTailCall, vm.OpCallCC:
+				d = d.Union(regset.Of(vm.RegRet, vm.RegRV))
+			default:
+				e := g.Effects(pc)
+				d = d.Union(e.Defs).Union(e.Clobbers)
+			}
+		}
+		direct[i] = d
+	}
+	for si, site := range cg.Sites {
+		sitesOf[site.Extent] = append(sitesOf[site.Extent], si)
+	}
+
+	// Seed: unanalyzable procedures clobber everything; the rest start
+	// from their direct writes and rise monotonically.
+	for pi := range s.ByProc {
+		ei := cg.extOf[pi]
+		if ei < 0 || cg.Graphs[ei] == nil {
+			s.ByProc[pi] = s.full.Minus(s.preserved)
+			continue
+		}
+		s.ByProc[pi] = direct[ei].Minus(s.preserved)
+		s.Resolved[pi] = true
+	}
+	for pass := 0; pass < DefaultMaxPasses; pass++ {
+		changed := false
+		for pi := range s.ByProc {
+			ei := cg.extOf[pi]
+			if ei < 0 || cg.Graphs[ei] == nil {
+				continue
+			}
+			sum := direct[ei]
+			resolved := true
+			for _, si := range sitesOf[ei] {
+				site := cg.Sites[si]
+				clob, ok := s.calleeClobbers(site)
+				sum = sum.Union(clob)
+				resolved = resolved && ok
+			}
+			sum = sum.Minus(s.preserved)
+			if sum != s.ByProc[pi] || resolved != s.Resolved[pi] {
+				s.ByProc[pi] = sum
+				s.Resolved[pi] = resolved
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return s
+}
+
+// calleeClobbers is the register set the callee of one site may change,
+// excluding the call instruction's own writes. ok reports whether the
+// set is better-than-conservative.
+func (s *Summaries) calleeClobbers(site CallSite) (regset.Set, bool) {
+	if site.Op == vm.OpCallCC {
+		// The captured continuation can re-enter the site with arbitrary
+		// caller-save state regardless of the receiver's body.
+		return s.full.Minus(s.preserved), false
+	}
+	switch site.Callee.Kind {
+	case CalleeProc:
+		if site.Callee.Index >= 0 && site.Callee.Index < len(s.ByProc) {
+			return s.ByProc[site.Callee.Index], s.Resolved[site.Callee.Index]
+		}
+	case CalleePrim:
+		// Primitive dispatch runs no VM code: it writes rv, nothing else.
+		return regset.Single(vm.RegRV), true
+	}
+	return s.full.Minus(s.preserved), false
+}
+
+// CallEffect is the register set a call site may leave changed from the
+// caller's perspective: the callee's summary plus the call's own writes
+// (ret is set to the return point, rv to the result). resolved reports
+// whether the set is sharper than the conservative assumption the
+// intraprocedural passes make.
+func (s *Summaries) CallEffect(site CallSite) (clob regset.Set, resolved bool) {
+	c, ok := s.calleeClobbers(site)
+	return c.Union(regset.Of(vm.RegRet, vm.RegRV)), ok
+}

@@ -1,12 +1,12 @@
 // Package findings defines the structured finding format shared by the
 // repository's static passes: the translation validator
-// (internal/verify) and the optimality analyzer (internal/analysis),
-// which run over compiled VM code, and the source linter
-// (internal/srclint), which runs over the repository's own Go source.
-// All report the same shape — a kind plus the location the finding
-// anchors to (pc/register/slot for VM-code passes, file/line for
-// source passes) — so tooling (lsrc -json, lsrvet -json, CI gates)
-// consumes one format.
+// (internal/verify), the optimality analyzer (internal/analysis) and
+// the interprocedural save/restore audit (internal/dataflow), which run
+// over compiled VM code, and the source linter (internal/srclint),
+// which runs over the repository's own Go source. All report the same
+// shape — a kind plus the location the finding anchors to
+// (pc/register/slot for VM-code passes, file/line for source passes) —
+// so tooling (lsrc -json, lsrvet -json, CI gates) consumes one format.
 package findings
 
 import (
@@ -15,11 +15,13 @@ import (
 )
 
 // Finding is one statically detected fact: an invariant violation in
-// compiled code (tool "verify"), detected waste (tool "lint"), or a
+// compiled code (tool "verify"), detected waste (tool "lint"),
+// cross-call waste only a whole-program view can see (tool
+// "interproc"), an arena-lifetime escape (tool "arena"), or a
 // source-level contract violation (tool "srclint").
 type Finding struct {
-	// Tool identifies the producing pass: "verify", "lint" or
-	// "srclint".
+	// Tool identifies the producing pass: "verify", "lint",
+	// "interproc", "arena" or "srclint".
 	Tool string `json:"tool"`
 	// Kind is the pass-specific finding kind (e.g. "missing-restore",
 	// "redundant-save").

@@ -62,8 +62,16 @@ type ImmutabilityConfig struct {
 // Machine.
 func DefaultImmutabilityConfig() ImmutabilityConfig {
 	return ImmutabilityConfig{
-		Type:   "repro/internal/vm.Program",
-		Allow:  []string{"(*repro/internal/vm.Program).engine"},
+		Type: "repro/internal/vm.Program",
+		Allow: []string{
+			"(*repro/internal/vm.Program).engine",
+			// The arena seeded-violation corpus hand-assembles Programs
+			// field by field; they are analyzed by internal/dataflow, never
+			// run, and never shared with a Machine.
+			"repro/internal/dataflow.corpusProgram",
+			"repro/internal/dataflow.withConst",
+			"repro/internal/dataflow.withPrim",
+		},
 		Forbid: []string{"repro/internal/prim.Arena"},
 	}
 }

@@ -13,7 +13,55 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sync"
+	"time"
 )
+
+// Loader memoizes the expensive front half of the suite: one
+// `go list -deps -export` walk plus one type-check of the whole module,
+// shared by every analyzer that needs resolved syntax instead of being
+// re-run per analyzer. It also times the pass so the gate can report
+// where lsrvet time goes (see Run's timing line in scripts/check.sh
+// output).
+type Loader struct {
+	// Root is the module root directory.
+	Root string
+
+	once sync.Once
+	pkgs []*Pkg
+	err  error
+	// LoadTime is the wall time of the single list+parse+check pass
+	// (zero until Packages is first called).
+	LoadTime time.Duration
+}
+
+// NewLoader returns a loader for the module at root.
+func NewLoader(root string) *Loader { return &Loader{Root: root} }
+
+// Packages type-checks the whole module on first use and returns the
+// shared result to every caller.
+func (l *Loader) Packages() ([]*Pkg, error) {
+	l.once.Do(func() {
+		start := time.Now()
+		l.pkgs, l.err = LoadPackages(l.Root, "./...")
+		l.LoadTime = time.Since(start)
+	})
+	return l.pkgs, l.err
+}
+
+// Package returns one loaded package by import path.
+func (l *Loader) Package(path string) (*Pkg, error) {
+	pkgs, err := l.Packages()
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range pkgs {
+		if p.Path == path {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("srclint: package %s not found in module", path)
+}
 
 // Pkg is one type-checked package: its syntax plus the go/types
 // objects the analyzers resolve names against.

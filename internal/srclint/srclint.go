@@ -31,6 +31,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/findings"
 )
@@ -67,10 +68,15 @@ func DefaultOptions(root string) Options {
 }
 
 // Result is one Run's outcome: the findings (empty means the gate
-// passes) plus non-fatal warnings (stale baseline entries).
+// passes) plus non-fatal warnings (stale baseline entries) and a
+// timing line breaking down where the run's wall time went.
 type Result struct {
 	Findings []findings.Finding
 	Warnings []string
+	// Timing is a human-readable breakdown ("load 1.2s · immutable 45ms
+	// · ..."); cmd/lsrvet logs it so scripts/check.sh shows where the
+	// gate's time goes.
+	Timing string
 }
 
 // Run executes the selected analyzers and aggregates their findings.
@@ -90,54 +96,82 @@ func Run(opts Options) (*Result, error) {
 	}
 
 	res := &Result{}
+	loader := NewLoader(opts.Root)
+	var spans []string
+	timed := func(name string, f func() error) error {
+		start := time.Now()
+		err := f()
+		spans = append(spans, fmt.Sprintf("%s %s", name, time.Since(start).Round(time.Millisecond)))
+		return err
+	}
 
 	if want("immutable") || want("parity") {
-		pkgs, err := LoadPackages(opts.Root, "./...")
+		// Load once up front so the per-analyzer spans measure analysis,
+		// not the shared list+parse+check pass.
+		if _, err := loader.Packages(); err != nil {
+			return nil, err
+		}
+		spans = append(spans, fmt.Sprintf("load %s", loader.LoadTime.Round(time.Millisecond)))
+	}
+	if want("immutable") {
+		err := timed("immutable", func() error {
+			pkgs, err := loader.Packages()
+			if err != nil {
+				return err
+			}
+			res.Findings = append(res.Findings, CheckImmutability(opts.Root, pkgs, opts.Immutable)...)
+			return nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		if want("immutable") {
-			res.Findings = append(res.Findings, CheckImmutability(opts.Root, pkgs, opts.Immutable)...)
-		}
-		if want("parity") {
-			var vmPkg *Pkg
-			for _, p := range pkgs {
-				if p.Path == opts.VMPackage {
-					vmPkg = p
-				}
-			}
-			if vmPkg == nil {
-				return nil, fmt.Errorf("srclint: VM package %s not found in module", opts.VMPackage)
+	}
+	if want("parity") {
+		err := timed("parity", func() error {
+			vmPkg, err := loader.Package(opts.VMPackage)
+			if err != nil {
+				return err
 			}
 			fs, err := CheckParity(opts.Root, vmPkg, opts.Parity)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			res.Findings = append(res.Findings, fs...)
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 	}
 
 	if want("alloc") {
-		data, err := os.ReadFile(resolvePath(opts.Root, opts.BaselinePath))
-		if err != nil {
-			return nil, fmt.Errorf("srclint: read alloc baseline: %v", err)
-		}
-		base, err := ReadBaseline(data)
+		err := timed("alloc", func() error {
+			data, err := os.ReadFile(resolvePath(opts.Root, opts.BaselinePath))
+			if err != nil {
+				return fmt.Errorf("srclint: read alloc baseline: %v", err)
+			}
+			base, err := ReadBaseline(data)
+			if err != nil {
+				return err
+			}
+			sites, version, err := MeasureEscapes(opts.Root, opts.Alloc)
+			if err != nil {
+				return err
+			}
+			fs, stale, err := DiffAlloc(base, sites, version, opts.Alloc)
+			if err != nil {
+				return err
+			}
+			res.Findings = append(res.Findings, fs...)
+			res.Warnings = append(res.Warnings, stale...)
+			return nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		sites, version, err := MeasureEscapes(opts.Root, opts.Alloc)
-		if err != nil {
-			return nil, err
-		}
-		fs, stale, err := DiffAlloc(base, sites, version, opts.Alloc)
-		if err != nil {
-			return nil, err
-		}
-		res.Findings = append(res.Findings, fs...)
-		res.Warnings = append(res.Warnings, stale...)
 	}
 
+	res.Timing = strings.Join(spans, " · ")
 	sortFindings(res.Findings)
 	return res, nil
 }

@@ -2,16 +2,15 @@ package verify
 
 // Witness reconstruction: a reported violation carries one concrete
 // static path from the procedure entry to the offending instruction
-// along which the cell is in the bad state. The search runs a BFS over
-// (pc, cell-state) nodes with a three-value concrete simulation of the
-// single cell involved — far cheaper than the full abstract state, and
-// enough to pick the path a developer should read.
-//
-// The machinery is exported as PathFinder so sibling static passes
-// (the optimality analyzer in internal/analysis) can reuse the same
-// CFG walking and shortest-path search over a procedure extent.
+// along which the cell is in the bad state. The searches live in
+// internal/dataflow (Graph.CellPath, Graph.PathFrom); PathFinder is the
+// thin wrapper this package and internal/analysis historically used,
+// kept as the stable per-extent handle.
 
-import "repro/internal/vm"
+import (
+	"repro/internal/dataflow"
+	"repro/internal/vm"
+)
 
 // Cell states for PathFinder.WitnessCell's single-cell simulation.
 const (
@@ -29,12 +28,12 @@ const (
 	cClob  = CellClob
 )
 
-// PathFinder walks one procedure extent's control-flow graph. It caches
-// per-instruction effects and offers shortest-path searches used to
-// build violation witnesses.
+// PathFinder walks one procedure extent's control-flow graph. It is a
+// veneer over dataflow.Graph: per-instruction effects, successor
+// edges, and the shortest-path searches used to build violation
+// witnesses.
 type PathFinder struct {
-	start, end int
-	eff        []vm.Effects
+	g *dataflow.Graph
 }
 
 // NewPathFinder builds a PathFinder for the instructions [start, end)
@@ -43,109 +42,40 @@ type PathFinder struct {
 // the end (the verifier reports those structurally; path search over
 // them would be meaningless).
 func NewPathFinder(p *vm.Program, start, end int) (*PathFinder, bool) {
-	if start < 0 || end > len(p.Code) || start >= end {
+	g, err := dataflow.NewGraph(p, start, end)
+	if err != nil {
 		return nil, false
 	}
-	pf := &PathFinder{start: start, end: end, eff: make([]vm.Effects, end-start)}
-	for pc := start; pc < end; pc++ {
-		e, ok := p.Code[pc].InstrEffects(p.Config)
-		if !ok {
-			return nil, false
-		}
-		if e.Jump >= 0 && (e.Jump < start || e.Jump >= end) {
-			return nil, false
-		}
-		if e.FallsThrough && pc+1 >= end {
-			return nil, false
-		}
-		pf.eff[pc-start] = e
-	}
-	return pf, true
+	return &PathFinder{g: g}, true
 }
 
 // pathFinderFor wraps an effects slice the verifier already built.
 func pathFinderFor(start, end int, eff []vm.Effects) *PathFinder {
-	return &PathFinder{start: start, end: end, eff: eff}
+	return &PathFinder{g: dataflow.GraphFromEffects(start, end, eff)}
 }
+
+// Graph exposes the underlying CFG for fixpoint runs.
+func (pf *PathFinder) Graph() *dataflow.Graph { return pf.g }
 
 // Start and End delimit the extent.
-func (pf *PathFinder) Start() int { return pf.start }
-func (pf *PathFinder) End() int   { return pf.end }
+func (pf *PathFinder) Start() int { return pf.g.Start() }
+func (pf *PathFinder) End() int   { return pf.g.End() }
 
 // Effects returns the cached def/use effects of the instruction at pc.
-func (pf *PathFinder) Effects(pc int) vm.Effects { return pf.eff[pc-pf.start] }
+func (pf *PathFinder) Effects(pc int) vm.Effects { return pf.g.Effects(pc) }
 
 // Succs lists pc's intra-procedure successors into buf.
-func (pf *PathFinder) Succs(pc int, buf []int) []int {
-	e := pf.eff[pc-pf.start]
-	buf = buf[:0]
-	if e.FallsThrough {
-		buf = append(buf, pc+1)
-	}
-	if e.Jump >= 0 {
-		buf = append(buf, e.Jump)
-	}
-	return buf
-}
+func (pf *PathFinder) Succs(pc int, buf []int) []int { return pf.g.Succs(pc, buf) }
 
 // WitnessCell finds a shortest path from the extent start to target
 // arriving with the simulated cell in state want. trans advances the
 // cell state across the instruction at pc.
 func (pf *PathFinder) WitnessCell(target int, init, want uint8, trans func(pc int, k uint8) uint8) []int {
-	n := pf.end - pf.start
-	parent := make([]int32, n*NumCellStates)
-	for i := range parent {
-		parent[i] = -1
-	}
-	node := func(pc int, k uint8) int { return (pc-pf.start)*NumCellStates + int(k) }
-	startNode := node(pf.start, init)
-	parent[startNode] = int32(startNode)
-	queue := []int{startNode}
-	goal := -1
-	if pf.start == target && init == want {
-		goal = startNode
-	}
-	var buf [2]int
-	for len(queue) > 0 && goal < 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		pc := pf.start + cur/NumCellStates
-		k := uint8(cur % NumCellStates)
-		nk := trans(pc, k)
-		for _, succ := range pf.Succs(pc, buf[:]) {
-			nn := node(succ, nk)
-			if parent[nn] >= 0 {
-				continue
-			}
-			parent[nn] = int32(cur)
-			if succ == target && nk == want {
-				goal = nn
-				break
-			}
-			queue = append(queue, nn)
-		}
-	}
-	if goal < 0 {
-		return pf.WitnessPath(target)
-	}
-	var rev []int
-	for at := goal; ; at = int(parent[at]) {
-		rev = append(rev, pf.start+at/NumCellStates)
-		if at == int(parent[at]) {
-			break
-		}
-	}
-	path := make([]int, len(rev))
-	for i, pc := range rev {
-		path[len(rev)-1-i] = pc
-	}
-	return path
+	return pf.g.CellPath(target, init, want, NumCellStates, trans)
 }
 
 // WitnessPath finds any shortest path from the extent start to target.
-func (pf *PathFinder) WitnessPath(target int) []int {
-	return pf.PathFrom(pf.start, func(pc int) bool { return pc == target }, nil)
-}
+func (pf *PathFinder) WitnessPath(target int) []int { return pf.g.WitnessPath(target) }
 
 // PathFrom finds a shortest path beginning at from and ending at the
 // first instruction satisfying stop. Nodes for which avoid returns true
@@ -153,51 +83,7 @@ func (pf *PathFinder) WitnessPath(target int) []int {
 // tested before its avoid status matters. It returns nil when no such
 // path exists.
 func (pf *PathFinder) PathFrom(from int, stop func(pc int) bool, avoid func(pc int) bool) []int {
-	if from < pf.start || from >= pf.end {
-		return nil
-	}
-	if stop(from) {
-		return []int{from}
-	}
-	if avoid != nil && avoid(from) {
-		return nil
-	}
-	n := pf.end - pf.start
-	parent := make([]int32, n)
-	for i := range parent {
-		parent[i] = -1
-	}
-	parent[from-pf.start] = int32(from)
-	queue := []int{from}
-	var buf [2]int
-	for len(queue) > 0 {
-		pc := queue[0]
-		queue = queue[1:]
-		for _, succ := range pf.Succs(pc, buf[:]) {
-			i := succ - pf.start
-			if parent[i] >= 0 {
-				continue
-			}
-			parent[i] = int32(pc)
-			if stop(succ) {
-				var rev []int
-				for at := succ; at != from; at = int(parent[at-pf.start]) {
-					rev = append(rev, at)
-				}
-				rev = append(rev, from)
-				path := make([]int, len(rev))
-				for j, p := range rev {
-					path[len(rev)-1-j] = p
-				}
-				return path
-			}
-			if avoid != nil && avoid(succ) {
-				continue
-			}
-			queue = append(queue, succ)
-		}
-	}
-	return nil
+	return pf.g.PathFrom(from, stop, avoid)
 }
 
 // witnessReg finds a path on which register r arrives at pc in the

@@ -24,6 +24,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/codegen"
 	"repro/internal/compiler"
+	"repro/internal/dataflow"
 	"repro/internal/findings"
 	"repro/internal/prim"
 	"repro/internal/verify"
@@ -163,6 +164,16 @@ type LintReport = analysis.Report
 // LintFinding is one statically detected piece of allocation waste.
 type LintFinding = analysis.Finding
 
+// InterprocReport is the interprocedural save/restore audit's result:
+// cross-call dead restores and redundant saves that only a whole-program
+// view can see, plus call-site resolution totals. Produced on demand by
+// Program.AnalyzeInterproc; the findings are advisory (they measure the
+// headroom an interprocedural allocator would have, not emitter bugs).
+type InterprocReport = dataflow.InterprocReport
+
+// InterprocStats is the audit's aggregate totals.
+type InterprocStats = dataflow.InterprocStats
+
 // StructuredFinding is the JSON-ready finding format shared by the
 // verifier and the lint analyzer (kind, pc, reg/slot, witness path).
 type StructuredFinding = findings.Finding
@@ -291,6 +302,15 @@ func (p *Program) run(out io.Writer, cost CostModel, validate bool, maxSteps int
 
 // Disassemble renders the compiled code.
 func (p *Program) Disassemble() string { return p.compiled.Disassemble() }
+
+// AnalyzeInterproc runs the interprocedural save/restore waste audit
+// over the compiled code: it resolves each call site's callee, computes
+// transitive may-clobber summaries, and reports saves and restores that
+// are provably no-ops for the program as compiled (see the lsrc -lint
+// and -interproc flags for the CLI surface).
+func (p *Program) AnalyzeInterproc() *InterprocReport {
+	return dataflow.AnalyzeInterproc(p.compiled)
+}
 
 // Interpret evaluates source with the reference interpreter (the
 // engine-independent oracle).

@@ -21,6 +21,14 @@ go build ./...
 echo "== go vet =="
 go vet ./...
 
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "files not gofmt-formatted:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 echo "== package docs =="
 undoc=$(go list -f '{{if not .Doc}}{{.ImportPath}}{{end}}' ./...)
 if [ -n "$undoc" ]; then
@@ -47,6 +55,9 @@ go run ./cmd/lsrbench -verify
 
 echo "== optimality lint sweep: benchmark suite, every configuration =="
 go run ./cmd/lsrbench -lint
+
+echo "== arena-lifetime escape analysis: benchmarks clean, seeded corpus caught =="
+go run ./cmd/lsrbench -arena > /dev/null
 
 echo "== verifier sweep: examples =="
 for d in examples/*/; do
