@@ -24,12 +24,19 @@
 //
 //	lsrbench -suite quick -perfjson BENCH_0.json     # write a baseline
 //	lsrbench -suite quick -perfcompare BENCH_0.json  # gate against it
+//
+// Sustained-load SLO gate against a running lsrgate/lsrd (see
+// DESIGN.md §16; scripts/loadgen.sh stands the fleet up):
+//
+//	lsrbench -loadurl http://localhost:8376 -loadjson BENCH_LOAD_0.json
+//	lsrbench -loadurl http://localhost:8376 -loadcompare BENCH_LOAD_0.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/bench"
 )
@@ -55,6 +62,12 @@ func main() {
 		perfCompare    = flag.String("perfcompare", "", "measure and gate against the committed BENCH_*.json baseline at this path")
 		perfThreshold  = flag.Float64("perfthreshold", 0.15, "allowed wall-time geomean regression for -perfcompare")
 		allocThreshold = flag.Float64("allocthreshold", 0.10, "allowed per-program allocs_per_op growth for -perfcompare")
+
+		loadURL      = flag.String("loadurl", "", "drive sustained load at this lsrgate/lsrd base URL and report p50/p95/p99 + throughput")
+		loadClients  = flag.Int("loadclients", 4, "concurrent load clients for -loadurl")
+		loadDuration = flag.Duration("loadduration", 5*time.Second, "sustained-load duration for -loadurl")
+		loadJSON     = flag.String("loadjson", "", "write the load report as BENCH_LOAD_*.json to this file")
+		loadCompare  = flag.String("loadcompare", "", "gate the load run against the committed BENCH_LOAD_*.json baseline at this path")
 	)
 	flag.Parse()
 
@@ -208,10 +221,64 @@ func main() {
 		}
 	}
 
+	if *loadURL != "" {
+		ran = true
+		if err := runLoad(*loadURL, *loadClients, *loadDuration, *loadJSON, *loadCompare); err != nil {
+			fail(err)
+		}
+	}
+
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// runLoad drives the sustained-load harness at a gate or replica and
+// then writes the report, gates it against a committed baseline, or
+// both (see DESIGN.md §16).
+func runLoad(url string, clients int, duration time.Duration, jsonPath, comparePath string) error {
+	rep, err := bench.RunLoad(bench.LoadOptions{
+		URL:      url,
+		Clients:  clients,
+		Duration: duration,
+		SLO:      bench.DefaultSLO,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("load: %d requests (%d errors) in %.1fs — %.1f rps, p50 %.2fms p95 %.2fms p99 %.2fms\n",
+		rep.Requests, rep.Errors, rep.DurationSec, rep.ThroughputRPS, rep.P50Ms, rep.P95Ms, rep.P99Ms)
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (schema %s)\n", jsonPath, bench.LoadSchema)
+	}
+	if comparePath != "" {
+		data, err := os.ReadFile(comparePath)
+		if err != nil {
+			return err
+		}
+		base, err := bench.ReadLoadReport(data)
+		if err != nil {
+			return err
+		}
+		if err := bench.CompareLoad(base, rep); err != nil {
+			return err
+		}
+		fmt.Printf("load SLO gate passed against %s (p99<=%.0fms, >=%.0f rps, err<=%.2f%%)\n",
+			comparePath, base.SLO.P99MsMax, base.SLO.ThroughputMin, base.SLO.ErrorRateMax*100)
+	}
+	return nil
 }
 
 // runPerf measures the perf report once and then writes it, gates it

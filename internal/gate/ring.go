@@ -1,0 +1,154 @@
+package gate
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Ring is a consistent-hash ring over a fixed backend set with dynamic
+// health. Each backend contributes vnodes points (hashes of
+// "backend#i"), so keys spread evenly and adding or removing one
+// backend remaps only ~1/N of the key space — the property the
+// sharded cache tier depends on (a membership change invalidates a
+// slice of each replica's warm cache, not all of it; the golden test
+// in ring_test.go pins the mapping).
+//
+// Health is orthogonal to membership: a down backend keeps its points,
+// and lookups walk past them to the next distinct healthy backend.
+// When it recovers, its keys return — the deterministic mapping is
+// restored rather than reshuffled.
+type Ring struct {
+	backends []string
+	vnodes   int
+	points   []ringPoint // sorted by hash
+
+	mu         sync.RWMutex
+	alive      []bool
+	rebalances int64
+}
+
+type ringPoint struct {
+	hash    uint64
+	backend int
+}
+
+// DefaultVNodes balances spread (stddev of key share shrinks with
+// sqrt(vnodes)) against ring size; 64 keeps per-backend share within a
+// few percent of 1/N for small fleets.
+const DefaultVNodes = 64
+
+// NewRing builds the ring; every backend starts healthy.
+func NewRing(backends []string, vnodes int) (*Ring, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("gate: ring needs at least one backend")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{
+		backends: append([]string(nil), backends...),
+		vnodes:   vnodes,
+		alive:    make([]bool, len(backends)),
+	}
+	for i := range r.alive {
+		r.alive[i] = true
+	}
+	r.points = make([]ringPoint, 0, len(backends)*vnodes)
+	for b, name := range r.backends {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: pointHash(name, v), backend: b})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].backend < r.points[j].backend
+	})
+	return r, nil
+}
+
+// pointHash places virtual node v of a backend on the ring.
+func pointHash(backend string, v int) uint64 {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s#%d", backend, v)))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// KeyHash positions an opaque shard key (the service's content-address
+// bytes, or a raw body for unparseable requests) on the ring.
+func KeyHash(key []byte) uint64 {
+	sum := sha256.Sum256(key)
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Backends returns the backend names in ring order of definition.
+func (r *Ring) Backends() []string { return r.backends }
+
+// Pick maps a key hash to a healthy backend index: the first point
+// clockwise from h whose backend is alive. ok is false when no backend
+// is healthy.
+func (r *Ring) Pick(h uint64) (int, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := len(r.points)
+	start := sort.Search(n, func(i int) bool { return r.points[i].hash >= h })
+	for i := 0; i < n; i++ {
+		p := r.points[(start+i)%n]
+		if r.alive[p.backend] {
+			return p.backend, true
+		}
+	}
+	return 0, false
+}
+
+// PickOwner is Pick ignoring health: the backend that owns the key
+// under full membership (tests and diagnostics).
+func (r *Ring) PickOwner(h uint64) int {
+	n := len(r.points)
+	start := sort.Search(n, func(i int) bool { return r.points[i].hash >= h })
+	return r.points[start%n].backend
+}
+
+// SetAlive updates a backend's health; changed reports a transition
+// (each one remaps that backend's arc, which the gate counts as a
+// ring rebalance).
+func (r *Ring) SetAlive(backend int, up bool) (changed bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.alive[backend] == up {
+		return false
+	}
+	r.alive[backend] = up
+	r.rebalances++
+	return true
+}
+
+// Alive reports a backend's current health.
+func (r *Ring) Alive(backend int) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.alive[backend]
+}
+
+// HealthyCount is the number of live backends.
+func (r *Ring) HealthyCount() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for _, a := range r.alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// Rebalances counts health transitions since construction.
+func (r *Ring) Rebalances() int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.rebalances
+}

@@ -1,0 +1,227 @@
+package gate
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// corpus builds a deterministic key set standing in for cache keys.
+func corpus(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("unit-%04d", i)
+	}
+	return keys
+}
+
+func fleet(n int) []string {
+	backends := make([]string, n)
+	for i := range backends {
+		backends[i] = fmt.Sprintf("http://10.0.0.%d:8377", i+1)
+	}
+	return backends
+}
+
+// TestRingGolden pins the key→backend mapping over a fixed corpus: the
+// sharding function is part of the fleet's operational contract (a
+// silent change would cold-cache every replica on the next deploy), so
+// any intentional change must regenerate the golden file with -update.
+func TestRingGolden(t *testing.T) {
+	r, err := NewRing(fleet(3), DefaultVNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]string{}
+	for _, k := range corpus(64) {
+		got[k] = r.Backends()[r.PickOwner(KeyHash([]byte(k)))]
+	}
+	golden := filepath.Join("testdata", "ring_golden.json")
+	if *update {
+		data, _ := json.MarshalIndent(got, "", "  ")
+		if err := os.WriteFile(golden, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with -update): %v", err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("golden has %d keys, got %d", len(want), len(got))
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Errorf("key %s: owner %s, golden %s", k, got[k], w)
+		}
+	}
+}
+
+// TestRemoveRemapsOnlyOwnedKeys is the consistent-hashing contract:
+// dropping one backend moves exactly the keys it owned (~1/N of the
+// corpus) and leaves every other key's owner untouched.
+func TestRemoveRemapsOnlyOwnedKeys(t *testing.T) {
+	const n = 8
+	backends := fleet(n)
+	full, err := NewRing(backends, DefaultVNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := NewRing(backends[:n-1], DefaultVNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := backends[n-1]
+	keys := corpus(4096)
+	moved := 0
+	for _, k := range keys {
+		h := KeyHash([]byte(k))
+		before := full.Backends()[full.PickOwner(h)]
+		after := reduced.Backends()[reduced.PickOwner(h)]
+		if before != after {
+			moved++
+			if before != removed {
+				t.Fatalf("key %s moved %s→%s though %s was the backend removed", k, before, after, removed)
+			}
+		}
+	}
+	frac := float64(moved) / float64(len(keys))
+	if frac < 0.04 || frac > 0.25 {
+		t.Errorf("removing 1 of %d backends remapped %.1f%% of keys, want ~%.1f%%",
+			n, 100*frac, 100.0/n)
+	}
+}
+
+// TestAddRemapsFraction: growing the fleet by one backend steals only
+// ~1/(N+1) of the keys.
+func TestAddRemapsFraction(t *testing.T) {
+	const n = 8
+	backends := fleet(n + 1)
+	small, err := NewRing(backends[:n], DefaultVNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := NewRing(backends, DefaultVNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	added := backends[n]
+	keys := corpus(4096)
+	moved := 0
+	for _, k := range keys {
+		h := KeyHash([]byte(k))
+		before := small.Backends()[small.PickOwner(h)]
+		after := grown.Backends()[grown.PickOwner(h)]
+		if before != after {
+			moved++
+			if after != added {
+				t.Fatalf("key %s moved %s→%s though %s was the backend added", k, before, after, added)
+			}
+		}
+	}
+	frac := float64(moved) / float64(len(keys))
+	if frac < 0.03 || frac > 0.25 {
+		t.Errorf("adding a backend to %d remapped %.1f%% of keys, want ~%.1f%%",
+			n, 100*frac, 100.0/(n+1))
+	}
+}
+
+// TestRingBalance: vnodes keep every backend's share of the corpus
+// within a factor of two of fair.
+func TestRingBalance(t *testing.T) {
+	const n = 8
+	r, err := NewRing(fleet(n), DefaultVNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, n)
+	keys := corpus(4096)
+	for _, k := range keys {
+		counts[r.PickOwner(KeyHash([]byte(k)))]++
+	}
+	fair := float64(len(keys)) / n
+	for i, c := range counts {
+		if float64(c) < fair/2 || float64(c) > fair*2 {
+			t.Errorf("backend %d owns %d keys, fair share %.0f", i, c, fair)
+		}
+	}
+}
+
+// TestHealthWalk: a down backend's keys fail over to live ones and
+// return verbatim on recovery, with each transition counted as a
+// rebalance.
+func TestHealthWalk(t *testing.T) {
+	r, err := NewRing(fleet(3), DefaultVNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := corpus(256)
+	before := make([]int, len(keys))
+	for i, k := range keys {
+		idx, ok := r.Pick(KeyHash([]byte(k)))
+		if !ok {
+			t.Fatal("healthy ring returned no backend")
+		}
+		before[i] = idx
+	}
+	if changed := r.SetAlive(1, false); !changed {
+		t.Fatal("SetAlive(down) reported no transition")
+	}
+	if r.SetAlive(1, false) {
+		t.Fatal("repeated SetAlive(down) reported a transition")
+	}
+	for i, k := range keys {
+		idx, ok := r.Pick(KeyHash([]byte(k)))
+		if !ok {
+			t.Fatal("2-of-3-healthy ring returned no backend")
+		}
+		if idx == 1 {
+			t.Fatalf("key %s routed to a down backend", k)
+		}
+		if before[i] != 1 && idx != before[i] {
+			t.Fatalf("key %s moved %d→%d though its owner stayed healthy", k, before[i], idx)
+		}
+	}
+	r.SetAlive(1, true)
+	for i, k := range keys {
+		idx, _ := r.Pick(KeyHash([]byte(k)))
+		if idx != before[i] {
+			t.Fatalf("key %s did not return to backend %d after recovery", k, before[i])
+		}
+	}
+	if got := r.Rebalances(); got != 2 {
+		t.Errorf("rebalances = %d, want 2", got)
+	}
+	if r.HealthyCount() != 3 {
+		t.Errorf("healthy = %d, want 3", r.HealthyCount())
+	}
+}
+
+// TestNoHealthyBackend: Pick reports failure when everything is down.
+func TestNoHealthyBackend(t *testing.T) {
+	r, err := NewRing(fleet(2), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetAlive(0, false)
+	r.SetAlive(1, false)
+	if _, ok := r.Pick(12345); ok {
+		t.Fatal("Pick succeeded with no healthy backends")
+	}
+}
+
+// TestEmptyRing: construction requires at least one backend.
+func TestEmptyRing(t *testing.T) {
+	if _, err := NewRing(nil, 8); err == nil {
+		t.Fatal("NewRing(nil) succeeded")
+	}
+}

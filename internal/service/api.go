@@ -91,6 +91,19 @@ func (o *OptionsRequest) toCompiler() (compiler.Options, error) {
 	return opts, nil
 }
 
+// RequestKey derives the content-addressed cache key for (source,
+// options) exactly as the serving path does. The gate (internal/gate)
+// uses it to consistent-hash-shard requests across replicas by cache
+// key, so every replica's two-tier cache sees a stable partition of
+// the key space.
+func RequestKey(source string, opts *OptionsRequest) (CacheKey, error) {
+	o, err := opts.toCompiler()
+	if err != nil {
+		return CacheKey{}, err
+	}
+	return KeyFor(source, o), nil
+}
+
 // CompileRequest is the body of POST /v1/compile.
 type CompileRequest struct {
 	Source  string          `json:"source"`

@@ -1,0 +1,113 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+)
+
+// BatchRequest is the body of POST /v1/batch: many compilation units
+// in one request, admitted into the worker pool once (one admission
+// covers the whole batch, amortizing queue and dispatch overhead for
+// fleet clients that compile translation units in bulk).
+type BatchRequest struct {
+	Items []CompileRequest `json:"items"`
+}
+
+// BatchItemResult is one unit's outcome. Status is the HTTP status the
+// equivalent /v1/compile call would have returned, and Body is its
+// exact response body (a CompileResponse on success, an ErrorResponse
+// on failure) — byte-identical content, so batch clients and
+// single-shot clients share one decoder and one error taxonomy.
+type BatchItemResult struct {
+	Status int             `json:"status"`
+	Body   json.RawMessage `json:"body"`
+}
+
+// BatchResponse is the body of a successful POST /v1/batch. The batch
+// itself succeeds (200) even when individual items fail; per-item
+// failures are taxonomy-classified in their results.
+type BatchResponse struct {
+	Items []BatchItemResult `json:"items"`
+}
+
+// handleBatch compiles every unit in the request under one pool
+// admission. Items are processed sequentially on the admitted worker —
+// the parallelism knob is the pool, not the batch — and each item's
+// result is exactly what /v1/compile would have produced for it.
+func (s *Service) handleBatch(ctx context.Context, body []byte) (any, int, *Error) {
+	var req BatchRequest
+	if err := decodeRequest(body, &req); err != nil {
+		return nil, 0, err
+	}
+	if len(req.Items) == 0 {
+		return nil, 0, errOf(KindBadRequest, "batch has no items")
+	}
+	if len(req.Items) > s.cfg.MaxBatchItems {
+		return nil, 0, errOf(KindBadRequest, "batch has %d items, limit %d", len(req.Items), s.cfg.MaxBatchItems)
+	}
+	resp := BatchResponse{Items: make([]BatchItemResult, len(req.Items))}
+	for i := range req.Items {
+		item := s.compileOne(&req.Items[i])
+		resp.Items[i] = item
+		if item.Status == http.StatusOK {
+			s.batchItems.With("ok").Inc()
+		}
+	}
+	return resp, http.StatusOK, nil
+}
+
+// compileOne runs one batch item through the same logic as
+// handleCompile and renders its body with the same encoder, so the
+// bytes match a standalone call's response exactly.
+func (s *Service) compileOne(req *CompileRequest) BatchItemResult {
+	resp, herr := s.compileUnit(req)
+	if herr != nil {
+		s.batchItems.With(string(herr.Kind)).Inc()
+		return BatchItemResult{
+			Status: herr.Kind.HTTPStatus(),
+			Body: marshalBody(ErrorResponse{Error: ErrorBody{
+				Kind:     string(herr.Kind),
+				Message:  herr.Message,
+				Findings: herr.Findings,
+			}}),
+		}
+	}
+	return BatchItemResult{Status: http.StatusOK, Body: marshalBody(resp)}
+}
+
+// compileUnit is the shared core of /v1/compile and one /v1/batch
+// item: options lowering, the two-tier cached compile, and the
+// response assembly.
+func (s *Service) compileUnit(req *CompileRequest) (*CompileResponse, *Error) {
+	if err := requireSource(req.Source); err != nil {
+		return nil, err
+	}
+	opts, oerr := req.Options.toCompiler()
+	if oerr != nil {
+		return nil, errOf(KindBadRequest, "%v", oerr)
+	}
+	opts.Verify = req.Verify
+	c, key, hit, err := s.compileCached(req.Source, opts)
+	if err != nil {
+		return nil, err
+	}
+	resp := &CompileResponse{Key: key.String(), Cached: hit, Stats: c.Stats}
+	if req.Dump {
+		resp.Disassembly = c.Program.Disassemble()
+	}
+	return resp, nil
+}
+
+// marshalBody renders v exactly as writeJSON serializes a response
+// body (same field order, compact form; clients re-indent as they
+// like). It cannot fail for the response types it is given.
+func marshalBody(v any) json.RawMessage {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(v); err != nil {
+		return json.RawMessage(`{}`)
+	}
+	return json.RawMessage(bytes.TrimRight(buf.Bytes(), "\n"))
+}

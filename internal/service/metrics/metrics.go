@@ -247,6 +247,20 @@ func (v *CounterVec) With(values ...string) *Counter {
 	return v.f.child(values, func() metric { return &Counter{} }).(*Counter)
 }
 
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// NewGaugeVec registers a labeled gauge family.
+func (r *Registry) NewGaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.family(name, help, kindGauge, labels, nil)}
+}
+
+// With fetches the gauge for the given label values (created on first
+// use).
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.f.child(values, func() metric { return &Gauge{} }).(*Gauge)
+}
+
 // HistogramVec is a histogram family with labels.
 type HistogramVec struct{ f *family }
 

@@ -1,18 +1,23 @@
 // Package service is the serving layer over the compiler, verifier,
 // optimality analyzer and VM: a concurrent compile-and-run service with
-// a content-addressed compilation cache, a bounded worker pool that
-// sheds load instead of collapsing, execution fuel so hostile programs
-// cannot wedge a worker, and Prometheus-format metrics. cmd/lsrd wraps
-// it in an HTTP daemon; the error taxonomy (Kind) is shared with the
-// lsrc CLI so batch and served failures report identically.
+// a two-tier content-addressed compilation cache (in-memory LRU over a
+// shared on-disk store, so restarts and horizontal replicas share
+// compilations), a bounded worker pool that sheds load instead of
+// collapsing (with per-tenant admission quotas), execution fuel so
+// hostile programs cannot wedge a worker, graceful draining, and
+// Prometheus-format metrics. cmd/lsrd wraps it in an HTTP daemon and
+// cmd/lsrgate shards requests across replicas; the error taxonomy
+// (Kind) is shared with the lsrc CLI so batch and served failures
+// report identically.
 //
 // Endpoints:
 //
 //	POST /v1/compile  compile (optionally verify), return static stats
+//	POST /v1/batch    compile many units under one pool admission
 //	POST /v1/run      compile and execute under a fuel budget
 //	POST /v1/verify   translation-validate, return a findings report
 //	POST /v1/lint     optimality-analyze, return a findings report
-//	GET  /healthz     liveness
+//	GET  /healthz     liveness (503 while draining)
 //	GET  /metrics     Prometheus text metrics
 package service
 
@@ -32,6 +37,7 @@ import (
 	"repro/internal/findings"
 	"repro/internal/prim"
 	"repro/internal/service/metrics"
+	"repro/internal/store"
 	"repro/internal/verify"
 	"repro/internal/vm"
 )
@@ -57,6 +63,24 @@ type Config struct {
 	MaxSourceBytes int64
 	// MaxOutputBytes truncates a run's captured display output.
 	MaxOutputBytes int64
+	// StoreDir roots the on-disk compilation store (the durable tier
+	// under the LRU, shared by restarts and replicas). Empty disables
+	// the disk tier; the service is then memory-only as before.
+	StoreDir string
+	// MaxBatchItems bounds the number of units one /v1/batch request
+	// may carry.
+	MaxBatchItems int
+	// TenantHeader names the header carrying the tenant identity for
+	// per-tenant quotas (default X-Lsr-Tenant). Requests without the
+	// header share the anonymous pool and are only subject to the
+	// global admission limits.
+	TenantHeader string
+	// TenantInflight caps how many requests one tenant may have
+	// admitted at once (0 disables per-tenant admission quotas).
+	TenantInflight int
+	// TenantMaxFuel caps the fuel a tenant-attributed run may request;
+	// it is applied after the global MaxFuel clamp (0 = no extra cap).
+	TenantMaxFuel int64
 }
 
 // DefaultConfig returns production-shaped defaults.
@@ -99,6 +123,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxOutputBytes <= 0 {
 		c.MaxOutputBytes = d.MaxOutputBytes
 	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 64
+	}
+	if c.TenantHeader == "" {
+		c.TenantHeader = "X-Lsr-Tenant"
+	}
 	return c
 }
 
@@ -120,8 +150,11 @@ func errOf(kind Kind, format string, args ...any) *Error {
 type Service struct {
 	cfg      Config
 	cache    *Cache
+	store    *store.Store
 	sem      chan struct{}
 	admitted atomic.Int64
+	draining atomic.Bool
+	tenants  *tenantTable
 	log      *slog.Logger
 
 	reg           *metrics.Registry
@@ -129,26 +162,50 @@ type Service struct {
 	latency       *metrics.HistogramVec
 	inflight      *metrics.Gauge
 	shed          *metrics.Counter
+	drainGauge    *metrics.Gauge
 	fuelExhausted *metrics.Counter
 	compiles      *metrics.CounterVec
 	runs          *metrics.CounterVec
+	batchItems    *metrics.CounterVec
 	saveSites     *metrics.CounterVec
 	restoreSites  *metrics.CounterVec
 	shuffleTemps  *metrics.CounterVec
+	tenantReqs    *metrics.CounterVec
+	tenantShed    *metrics.CounterVec
 }
 
-// New creates a service. logger may be nil (logs are discarded).
+// New creates a service. logger may be nil (logs are discarded). A
+// non-empty cfg.StoreDir opens (creating if needed) the on-disk store;
+// an unopenable directory is a hard error surfaced by NewWithError —
+// New itself logs and continues memory-only, which keeps the daemon
+// serving even on a broken disk.
 func New(cfg Config, logger *slog.Logger) *Service {
+	s, err := NewWithError(cfg, logger)
+	if err != nil {
+		// s is still a functioning memory-only service.
+		s.log.Error("store disabled", "err", err)
+	}
+	return s
+}
+
+// NewWithError is New with the store-open failure reported instead of
+// swallowed (cmd/lsrd treats it as fatal; tests assert on it).
+func NewWithError(cfg Config, logger *slog.Logger) (*Service, error) {
 	cfg = cfg.withDefaults()
 	if logger == nil {
 		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	s := &Service{
-		cfg:   cfg,
-		cache: NewCache(cfg.CacheEntries),
-		sem:   make(chan struct{}, cfg.Workers),
-		log:   logger,
-		reg:   metrics.NewRegistry(),
+		cfg:     cfg,
+		cache:   NewCache(cfg.CacheEntries),
+		sem:     make(chan struct{}, cfg.Workers),
+		tenants: newTenantTable(),
+		log:     logger,
+		reg:     metrics.NewRegistry(),
+	}
+	var storeErr error
+	if cfg.StoreDir != "" {
+		s.store, storeErr = store.Open(cfg.StoreDir)
 	}
 	s.reqs = s.reg.NewCounterVec("lsrd_requests_total",
 		"Requests by endpoint and status code.", "endpoint", "code")
@@ -158,12 +215,20 @@ func New(cfg Config, logger *slog.Logger) *Service {
 		"Requests currently admitted (running or queued).")
 	s.shed = s.reg.NewCounter("lsrd_shed_total",
 		"Requests rejected with 429 because the queue was full.")
+	s.drainGauge = s.reg.NewGauge("lsrd_draining",
+		"1 while the daemon is draining (admitting nothing new).")
 	s.fuelExhausted = s.reg.NewCounter("lsrd_fuel_exhausted_total",
 		"Runs terminated by the execution fuel budget.")
 	s.compiles = s.reg.NewCounterVec("lsrd_compiles_total",
 		"Actual (non-cached) compilations by save strategy.", "saves")
 	s.runs = s.reg.NewCounterVec("lsrd_runs_total",
 		"Program executions by engine.", "engine")
+	s.batchItems = s.reg.NewCounterVec("lsrd_batch_items_total",
+		"Units processed through /v1/batch by per-item outcome kind (ok or error kind).", "kind")
+	s.tenantReqs = s.reg.NewCounterVec("lsrd_tenant_requests_total",
+		"Requests attributed to a tenant header.", "tenant")
+	s.tenantShed = s.reg.NewCounterVec("lsrd_tenant_quota_rejected_total",
+		"Requests rejected with 429 by the per-tenant admission quota.", "tenant")
 	s.saveSites = s.reg.NewCounterVec("lsrd_compile_save_sites_total",
 		"Static save instructions emitted, by save strategy.", "saves")
 	s.restoreSites = s.reg.NewCounterVec("lsrd_compile_restore_sites_total",
@@ -180,11 +245,68 @@ func New(cfg Config, logger *slog.Logger) *Service {
 		"Requests collapsed into an in-flight identical compile.", func() int64 { return s.cache.Stats().Deduped })
 	s.reg.NewGaugeFunc("lsrd_cache_entries",
 		"Compiled programs currently cached.", func() int64 { return int64(s.cache.Len()) })
-	return s
+	if s.store != nil {
+		s.reg.NewCounterFunc("lsrd_store_hits_total",
+			"On-disk store hits (compilations served without recompiling).",
+			func() int64 { return s.store.Stats().Hits })
+		s.reg.NewCounterFunc("lsrd_store_misses_total",
+			"On-disk store misses.", func() int64 { return s.store.Stats().Misses })
+		s.reg.NewCounterFunc("lsrd_store_corrupt_total",
+			"Store entries rejected as corrupt/truncated/version-skewed (read as misses).",
+			func() int64 { return s.store.Stats().Corrupt })
+		s.reg.NewCounterFunc("lsrd_store_put_errors_total",
+			"Failed store writes (service continued from memory).",
+			func() int64 { return s.store.Stats().PutErrors })
+		s.reg.NewGaugeFunc("lsrd_store_entries",
+			"Entries in the on-disk store's index.", func() int64 { return int64(s.store.Len()) })
+	}
+	return s, storeErr
 }
 
 // Cache exposes the compilation cache (tests and diagnostics).
 func (s *Service) Cache() *Cache { return s.cache }
+
+// Store exposes the on-disk tier (nil when disabled).
+func (s *Service) Store() *store.Store { return s.store }
+
+// StartDrain moves the service into draining: every subsequent request
+// is rejected with 503/draining (Retry-After set) and /healthz reports
+// draining, so load balancers and the gate route away while in-flight
+// work finishes.
+func (s *Service) StartDrain() {
+	if s.draining.CompareAndSwap(false, true) {
+		s.drainGauge.Set(1)
+		s.log.Info("draining: admission stopped")
+	}
+}
+
+// Draining reports whether StartDrain has been called.
+func (s *Service) Draining() bool { return s.draining.Load() }
+
+// DrainWait blocks until every admitted request has finished (or ctx
+// expires), then flushes the on-disk store index. Call after
+// StartDrain; the HTTP server's own Shutdown handles the connections.
+func (s *Service) DrainWait(ctx context.Context) error {
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for s.admitted.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("drain: %d requests still in flight: %w", s.admitted.Load(), ctx.Err())
+		case <-tick.C:
+		}
+	}
+	return s.FlushStore()
+}
+
+// FlushStore writes the on-disk store's index (no-op when the store is
+// disabled).
+func (s *Service) FlushStore() error {
+	if s.store == nil {
+		return nil
+	}
+	return s.store.Flush()
+}
 
 // Handler returns the HTTP handler serving every endpoint.
 func (s *Service) Handler() http.Handler {
@@ -193,8 +315,14 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/run", s.endpoint("run", s.handleRun))
 	mux.HandleFunc("POST /v1/verify", s.endpoint("verify", s.handleVerify))
 	mux.HandleFunc("POST /v1/lint", s.endpoint("lint", s.handleLint))
+	mux.HandleFunc("POST /v1/batch", s.endpoint("batch", s.handleBatch))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
+		if s.draining.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, `{"status":"draining"}`)
+			return
+		}
 		fmt.Fprintln(w, `{"status":"ok"}`)
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -224,6 +352,12 @@ func (s *Service) endpoint(name string, h handlerFunc) http.HandlerFunc {
 				"remote", r.RemoteAddr)
 		}()
 
+		if s.draining.Load() {
+			status = KindDraining.HTTPStatus()
+			writeError(w, status, errOf(KindDraining, "daemon is draining; retry another replica"))
+			return
+		}
+
 		body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxSourceBytes+1))
 		if err != nil {
 			status = http.StatusBadRequest
@@ -236,8 +370,22 @@ func (s *Service) endpoint(name string, h handlerFunc) http.HandlerFunc {
 			return
 		}
 
+		tenant := r.Header.Get(s.cfg.TenantHeader)
+		if tenant != "" {
+			s.tenantReqs.With(tenant).Inc()
+		}
+		release, qerr := s.tenantAcquire(tenant)
+		if qerr != nil {
+			s.tenantShed.With(tenant).Inc()
+			status = qerr.Kind.HTTPStatus()
+			writeError(w, status, qerr)
+			return
+		}
+		defer release()
+
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
+		ctx = withTenant(ctx, tenant)
 		if aerr := s.acquire(ctx); aerr != nil {
 			if aerr.Kind == KindOverload {
 				s.shed.Inc()
@@ -288,11 +436,25 @@ func (s *Service) release() {
 	s.inflight.Add(-1)
 }
 
-// compileCached compiles source under opts through the content-addressed
-// cache, recording per-strategy compile metrics on actual compiles.
+// compileCached compiles source under opts through the two-tier
+// content-addressed cache — in-memory LRU over the shared on-disk
+// store — recording per-strategy compile metrics on actual compiles.
+// The reported hit covers both tiers: an LRU hit, a singleflight join,
+// or a store hit all mean the request did not trigger a compile.
 func (s *Service) compileCached(src string, opts compiler.Options) (*compiler.Compiled, CacheKey, bool, *Error) {
 	key := KeyFor(src, opts)
+	storeHit := false
 	val, hit, err := s.cache.GetOrCompile(key, func() (*compiler.Compiled, error) {
+		// Miss in the fast tier: consult the durable tier before
+		// compiling. Lint-bearing compilations are never persisted (the
+		// codec refuses them), so skip the read too — a stored plain
+		// entry under a lint key cannot exist.
+		if s.store != nil && !opts.Lint {
+			if c, ok := s.store.Get(store.Key(key)); ok {
+				storeHit = true
+				return c, nil
+			}
+		}
 		c, cerr := compiler.Compile(src, opts)
 		if cerr == nil {
 			saves := opts.Saves.String()
@@ -300,9 +462,15 @@ func (s *Service) compileCached(src string, opts compiler.Options) (*compiler.Co
 			s.saveSites.With(saves).Add(int64(c.Stats.SaveSites))
 			s.restoreSites.With(saves).Add(int64(c.Stats.RestoreSites))
 			s.shuffleTemps.With(saves).Add(int64(c.Stats.ShuffleTemps))
+			if s.store != nil && !opts.Lint {
+				if perr := s.store.Put(store.Key(key), c); perr != nil {
+					s.log.Warn("store put failed", "key", key.String(), "err", perr)
+				}
+			}
 		}
 		return c, cerr
 	})
+	hit = hit || storeHit
 	if err != nil {
 		kind := Classify(StageCompile, err)
 		serr := &Error{Kind: kind, Message: err.Error()}
@@ -334,23 +502,11 @@ func (s *Service) handleCompile(ctx context.Context, body []byte) (any, int, *Er
 	if err := decodeRequest(body, &req); err != nil {
 		return nil, 0, err
 	}
-	if err := requireSource(req.Source); err != nil {
-		return nil, 0, err
-	}
-	opts, oerr := req.Options.toCompiler()
-	if oerr != nil {
-		return nil, 0, errOf(KindBadRequest, "%v", oerr)
-	}
-	opts.Verify = req.Verify
-	c, key, hit, err := s.compileCached(req.Source, opts)
+	resp, err := s.compileUnit(&req)
 	if err != nil {
 		return nil, 0, err
 	}
-	resp := CompileResponse{Key: key.String(), Cached: hit, Stats: c.Stats}
-	if req.Dump {
-		resp.Disassembly = c.Program.Disassemble()
-	}
-	return resp, http.StatusOK, nil
+	return *resp, http.StatusOK, nil
 }
 
 func (s *Service) handleRun(ctx context.Context, body []byte) (any, int, *Error) {
@@ -384,6 +540,11 @@ func (s *Service) handleRun(ctx context.Context, body []byte) (any, int, *Error)
 	}
 	if fuel > s.cfg.MaxFuel {
 		fuel = s.cfg.MaxFuel
+	}
+	// Tenant fuel quota: a tenant-attributed run is clamped to the
+	// per-tenant ceiling on top of the global one.
+	if t := tenantFrom(ctx); t != "" && s.cfg.TenantMaxFuel > 0 && fuel > s.cfg.TenantMaxFuel {
+		fuel = s.cfg.TenantMaxFuel
 	}
 	var out limitedBuffer
 	out.limit = int(s.cfg.MaxOutputBytes)
@@ -473,6 +634,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, e *Error) {
+	// Backoff contract: every shed response (429 overload/quota, 503
+	// draining) tells the client how long to back off before retrying.
+	if ra := e.Kind.RetryAfterSeconds(); ra > 0 {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", ra))
+	}
 	writeJSON(w, status, ErrorResponse{Error: ErrorBody{
 		Kind:     string(e.Kind),
 		Message:  e.Message,

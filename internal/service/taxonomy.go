@@ -41,6 +41,14 @@ const (
 	// KindOverload is load shedding: the worker pool and its queue are
 	// full.
 	KindOverload Kind = "overloaded"
+	// KindQuota is per-tenant load shedding: the tenant named by the
+	// request's tenant header is at its admission quota, even though
+	// the shared pool may have room.
+	KindQuota Kind = "quota-exceeded"
+	// KindDraining is a request that arrived after the daemon began a
+	// graceful drain (SIGTERM): it admits nothing new while finishing
+	// in-flight work.
+	KindDraining Kind = "draining"
 	// KindTimeout is a request that exceeded its deadline while queued.
 	KindTimeout Kind = "timeout"
 	// KindInternal is everything else.
@@ -54,12 +62,33 @@ func (k Kind) HTTPStatus() int {
 		return http.StatusBadRequest // 400
 	case KindParse, KindCompile, KindVerify, KindWaste, KindRuntime, KindFuel:
 		return http.StatusUnprocessableEntity // 422
-	case KindOverload:
+	case KindOverload, KindQuota:
 		return http.StatusTooManyRequests // 429
+	case KindDraining:
+		return http.StatusServiceUnavailable // 503
 	case KindTimeout:
 		return http.StatusGatewayTimeout // 504
 	default:
 		return http.StatusInternalServerError // 500
+	}
+}
+
+// RetryAfterSeconds is the backoff contract for shed responses: every
+// 429 and 503 the daemon produces carries a Retry-After header with
+// this value, and clients are expected to back off at least that long
+// (with jitter) before retrying. Overload and quota shedding clear in
+// roughly a queue-drain time, so the hint is short; a draining process
+// never recovers, so the hint is long enough for an LB health check to
+// route the client elsewhere first. Returns 0 for kinds that must not
+// be blindly retried.
+func (k Kind) RetryAfterSeconds() int {
+	switch k {
+	case KindOverload, KindQuota:
+		return 1
+	case KindDraining:
+		return 5
+	default:
+		return 0
 	}
 }
 
