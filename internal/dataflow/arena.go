@@ -9,13 +9,15 @@ import (
 	"repro/internal/vm"
 )
 
-// The arena-lifetime escape analysis. Pair cells come from a
-// per-machine arena (prim.Arena) that Machine.Recycle invalidates
-// wholesale between runs, and constants containing mutable structure
-// are shared Program-lifetime values that every load must arena-copy
-// (Program.ConstMutable). The ROADMAP's closure-slab item needs the
-// same shape of proof for closures, so this pass states and checks the
-// obligations the emitted code must already satisfy for pairs:
+// The arena-lifetime escape analysis. Pair cells, closure objects, and
+// closure free-variable slices come from a per-machine arena
+// (prim.Arena) that Machine.Recycle invalidates wholesale between
+// runs, and constants containing mutable structure are shared
+// Program-lifetime values that every load must arena-copy
+// (Program.ConstMutable). Closures joined the arena in PR 10, so the
+// analysis treats every OpClosure result (and the bootstrap closure in
+// main's cp register) as arena-tainted from birth; the rules below are
+// checked for the combined pair+closure ownership story:
 //
 //  1. const-pool protection: every constant containing mutable
 //     structure (pairs or vectors) must be marked ConstMutable so the
@@ -154,6 +156,10 @@ func (tp taintProblem) Entry() taintState {
 		for i := range s.arena {
 			s.arena[i] = true
 		}
+	} else if vm.RegCP < tp.nRegs {
+		// Main starts with the bootstrap closure in cp, which is
+		// arena-allocated like every other closure (machine.go Run).
+		s.arena[vm.RegCP] = true
 	}
 	return s
 }
@@ -259,14 +265,16 @@ func (tp taintProblem) Transfer(pc int, s taintState) taintState {
 		// Writes the callee's frame; the callee's entry state is already
 		// fully tainted.
 	case vm.OpClosure:
-		// The closure captures its operands.
-		arena, conz := false, false
+		// The closure object itself is allocated from the machine's
+		// arena slab (PR 10), so the result is arena-tainted no matter
+		// what it captures; const taint still comes from the captured
+		// operands.
+		conz := false
 		for _, r := range in.Regs {
-			a, c := tp.taintAt(s, r)
-			arena = arena || a
+			_, c := tp.taintAt(s, r)
 			conz = conz || c
 		}
-		tp.set(s, in.A, arena, conz)
+		tp.set(s, in.A, true, conz)
 	case vm.OpClosurePatch:
 		// Patches a captured slot of the closure in A with the value in
 		// C. The closure may already be stored elsewhere (that is the

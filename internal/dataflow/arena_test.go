@@ -94,6 +94,35 @@ func TestArenaResultEscapeOnlyStrict(t *testing.T) {
 	}
 }
 
+// TestArenaClosureTainted: closure objects come from the per-machine
+// arena slab (PR 10), so even a closure that captures nothing is arena
+// structure from birth. Storing one into a global must make an earlier
+// read of that global stale, and returning one must trip StrictResult
+// — both would have analyzed clean under the pre-slab rule that only
+// propagated captured taint.
+func TestArenaClosureTainted(t *testing.T) {
+	p := corpusProgram([]sexp.Symbol{"g"}, []vm.Instr{
+		{Op: vm.OpLoadGlobal, A: 3, B: 0},         // read g before its store
+		{Op: vm.OpClosure, A: 4, B: 1, Regs: nil}, // capture-free closure of f
+		{Op: vm.OpStoreGlobal, A: 4, B: 0},        // g <- closure
+		{Op: vm.OpMove, A: vm.RegRV, B: 4},
+		{Op: vm.OpReturn},
+	}, corpusProc{
+		name: "f",
+		body: []vm.Instr{{Op: vm.OpEntry, A: 0, B: 0}, {Op: vm.OpReturn}},
+	})
+	rep := AnalyzeArena(p, ArenaOptions{})
+	if rep.Totals.StaleGlobalReads == 0 {
+		t.Errorf("stale read of a closure-holding global not flagged:\n%s", rep.Render())
+	}
+	if rep.Totals.TaintedGlobals != 1 {
+		t.Errorf("closure store did not taint the global, got %d tainted:\n%s", rep.Totals.TaintedGlobals, rep.Render())
+	}
+	if rep := AnalyzeArena(p, ArenaOptions{StrictResult: true}); rep.Totals.ResultEscapes == 0 {
+		t.Errorf("capture-free closure escaping as the result not flagged under StrictResult:\n%s", rep.Render())
+	}
+}
+
 // TestPrimEffectsExhaustive keeps prims.go in lockstep with the
 // runtime's primitive table, in both directions: every primitive must
 // be classified, and every classification must name a primitive.

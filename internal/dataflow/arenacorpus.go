@@ -211,6 +211,29 @@ func ArenaViolationCorpus() []ArenaCase {
 		})
 	}
 
+	// 7. Closure staleness: closures come from the arena's closure slab
+	// (PR 10), so a capture-free closure stored into a global is arena
+	// structure even though it holds no pairs — a read before the store
+	// observes a recycled closure object on a re-run.
+	{
+		p := corpusProgram([]sexp.Symbol{"g"}, []vm.Instr{
+			{Op: vm.OpLoadGlobal, A: 3, B: 0},         // read g before the store
+			{Op: vm.OpClosure, A: 4, B: 1, Regs: nil}, // capture-free closure of f
+			{Op: vm.OpStoreGlobal, A: 4, B: 0},        // g <- closure
+			{Op: vm.OpMove, A: vm.RegRV, B: 3},
+			{Op: vm.OpReturn},
+		}, corpusProc{name: "f", body: []vm.Instr{
+			{Op: vm.OpEntry, A: 0, B: 4},
+			{Op: vm.OpReturn},
+		}})
+		cases = append(cases, ArenaCase{
+			Name: "stale-global-read-closure",
+			Rule: "closure objects are arena structure; closure-holding globals must be re-stored before any same-run read",
+			Want: []string{KindArenaStaleGlobalRead},
+			Prog: p,
+		})
+	}
+
 	return cases
 }
 

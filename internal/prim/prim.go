@@ -7,7 +7,12 @@
 // Values use the tagged two-word representation defined in value.go:
 // fixnums, booleans, characters and the empty list are immediates (no
 // heap box), flonums ride in the word next to a shared kind token, and
-// pairs come from a per-machine arena. See that file for the layout.
+// pairs, closures, and closure free-variable slices come from a
+// per-machine Arena of recycled slabs (nil-receiver-safe: without an
+// arena every allocator falls back to the plain Go heap). Arena.Recycle
+// invalidates everything handed out since the last call; CopyTree is
+// the escape hatch for values that must outlive it. See value.go for
+// the layout and lifetime contract.
 //
 // Primitives are deliberately first-order (they never call back into
 // Scheme); higher-order library procedures such as map and for-each are

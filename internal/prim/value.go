@@ -269,6 +269,25 @@ type Pair struct {
 	Cdr Value
 }
 
+// Closure is a compiled procedure paired with its free-variable values.
+// It is the VM's procedure representation (the vm package aliases it);
+// it lives here so closure objects and their free-variable slices can
+// come from the same per-machine Arena as pair cells. On the VM hot
+// path both are slab-allocated via AllocClosure and recycled wholesale
+// by Arena.Recycle; library callers with no arena get ordinary heap
+// closures through the nil-receiver fallback.
+type Closure struct {
+	// Proc is the procedure index into the owning Program's Procs.
+	Proc int
+	// Free holds the captured free-variable values. For slab-allocated
+	// closures it points into the arena's value-slice slab and is
+	// invalidated by Recycle like every other arena value.
+	Free []Value
+}
+
+// SchemeProcedure marks Closure as a procedure.
+func (*Closure) SchemeProcedure() {}
+
 // Vector is a runtime vector.
 type Vector struct {
 	Items []Value
@@ -310,9 +329,14 @@ func FromDatum(d sexp.Datum) Value {
 	}
 }
 
-// CopyTree deep-copies the mutable structure of v (pairs and vectors),
-// drawing pair cells from a when non-nil. Immediates and immutable heap
-// values are returned as-is.
+// CopyTree deep-copies the arena-backed structure of v (pairs, vectors,
+// and closures), drawing replacement cells from a when non-nil.
+// Immediates and immutable heap values are returned as-is. With a nil
+// arena this is the escape hatch of the Recycle contract: a caller that
+// wants to retain a run's result past Machine.Recycle copies it off the
+// arena first. Like the pair case, the closure case assumes acyclic
+// structure; the VM's constant pool (the hot caller, via copyConst)
+// never contains closures or cycles.
 func CopyTree(a *Arena, v Value) Value {
 	switch t := v.p.(type) {
 	case *Pair:
@@ -323,6 +347,12 @@ func CopyTree(a *Arena, v Value) Value {
 			items[i] = CopyTree(a, it)
 		}
 		return Value{p: &Vector{Items: items}}
+	case *Closure:
+		c := a.AllocClosure(t.Proc, len(t.Free))
+		for i, fv := range t.Free {
+			c.Free[i] = CopyTree(a, fv)
+		}
+		return Value{p: c}
 	default:
 		return v
 	}
@@ -333,24 +363,54 @@ func CopyTree(a *Arena, v Value) Value {
 // does not pin much memory.
 const arenaChunk = 512
 
-// Arena is a chunked free-list allocator for pair cells, owned by one
-// machine (it is NOT safe for concurrent use). Cells are handed out
-// slab-by-slab, so a cons costs a bump-pointer increment instead of a
-// heap allocation; Recycle returns every slab to the free list for the
-// owner's next run.
+// closureChunk is the number of closure objects per closure slab, and
+// valueChunk the number of Value cells per free-variable-slice slab.
+// valueChunk also caps the slice capacity classes: a single closure
+// capturing more than valueChunk free variables (no real compiler
+// output comes close) falls back to a heap slice.
+const (
+	closureChunk = 256
+	valueChunk   = 512
+)
+
+// Arena is a chunked free-list allocator for the VM's hot-path heap
+// objects — pair cells, closure objects, and closure free-variable
+// slices — owned by one machine (it is NOT safe for concurrent use).
+// Each kind is handed out slab-by-slab, so an allocation costs a
+// bump-pointer increment instead of a heap allocation; Recycle returns
+// every slab of every kind to its free list for the owner's next run.
 //
-// Lifetime contract: every pair allocated from an Arena remains valid
-// until Recycle is called on it. Recycle invalidates ALL of them at
-// once — including pairs reachable from a previous Run's result value
-// or from global cells — so the owner must only recycle between runs
-// whose values it no longer needs. A nil *Arena is valid and falls back
-// to ordinary heap allocation (the reference interpreter runs with
-// none, keeping the oracle independent of arena bugs).
+// Free-variable slices are carved from the value slab in power-of-two
+// capacity classes (1, 2, 4, ..., valueChunk): the returned slice has
+// the exact requested length but class-sized capacity, so slab packing
+// stays regular regardless of the mix of closure arities a program
+// creates. Requests beyond valueChunk fall back to the heap.
+//
+// Lifetime contract: every pair, closure, and free-variable slice
+// allocated from an Arena remains valid until Recycle is called on it.
+// Recycle invalidates ALL of them at once — including values reachable
+// from a previous Run's result value or from global cells — so the
+// owner must only recycle between runs whose values it no longer
+// needs. A nil *Arena is valid and falls back to ordinary heap
+// allocation (the reference interpreter runs with none, keeping the
+// oracle independent of arena bugs).
 type Arena struct {
 	cur  []Pair
 	n    int
 	used [][]Pair
 	free [][]Pair
+
+	// The closure slab (same shape as the pair slab).
+	ccur  []Closure
+	cn    int
+	cused [][]Closure
+	cfree [][]Closure
+
+	// The free-variable value-slice slab.
+	vcur  []Value
+	vn    int
+	vused [][]Value
+	vfree [][]Value
 }
 
 // NewPair allocates a cell. Safe on a nil receiver (plain heap).
@@ -380,9 +440,87 @@ func (a *Arena) grow() {
 	a.n = 0
 }
 
-// Recycle returns every slab to the free list for reuse, zeroing the
-// cells so recycled slabs do not pin garbage. See the lifetime contract
-// on Arena. Safe on a nil receiver (no-op).
+// AllocClosure allocates a closure for procedure proc with nfree
+// free-variable slots (zero Values), the closure object from the
+// closure slab and its Free slice from the value slab. Safe on a nil
+// receiver (plain heap closure and slice). A closure with no free
+// variables gets a nil Free and touches only the closure slab.
+func (a *Arena) AllocClosure(proc, nfree int) *Closure {
+	if a == nil {
+		c := &Closure{Proc: proc}
+		if nfree > 0 {
+			c.Free = make([]Value, nfree)
+		}
+		return c
+	}
+	if a.cn == len(a.ccur) {
+		a.growClosures()
+	}
+	c := &a.ccur[a.cn]
+	a.cn++
+	c.Proc = proc
+	c.Free = a.allocValues(nfree)
+	return c
+}
+
+func (a *Arena) growClosures() {
+	if a.ccur != nil {
+		a.cused = append(a.cused, a.ccur)
+	}
+	if k := len(a.cfree); k > 0 {
+		a.ccur = a.cfree[k-1]
+		a.cfree = a.cfree[:k-1]
+	} else {
+		a.ccur = make([]Closure, closureChunk)
+	}
+	a.cn = 0
+}
+
+// sliceClass rounds a free-variable count up to its capacity class,
+// the next power of two (see the Arena comment).
+func sliceClass(n int) int {
+	c := 1
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
+// allocValues carves an n-Value slice (class-sized capacity) from the
+// value slab; n == 0 yields nil and past-valueChunk requests fall back
+// to the heap.
+func (a *Arena) allocValues(n int) []Value {
+	if n == 0 {
+		return nil
+	}
+	class := sliceClass(n)
+	if class > valueChunk {
+		return make([]Value, n)
+	}
+	if a.vn+class > len(a.vcur) {
+		a.growValues()
+	}
+	s := a.vcur[a.vn : a.vn+n : a.vn+class]
+	a.vn += class
+	return s
+}
+
+func (a *Arena) growValues() {
+	if a.vcur != nil {
+		a.vused = append(a.vused, a.vcur)
+	}
+	if k := len(a.vfree); k > 0 {
+		a.vcur = a.vfree[k-1]
+		a.vfree = a.vfree[:k-1]
+	} else {
+		a.vcur = make([]Value, valueChunk)
+	}
+	a.vn = 0
+}
+
+// Recycle returns every slab of every kind to its free list for reuse,
+// zeroing the cells so recycled slabs do not pin garbage. See the
+// lifetime contract on Arena. Safe on a nil receiver (no-op).
 func (a *Arena) Recycle() {
 	if a == nil {
 		return
@@ -398,10 +536,34 @@ func (a *Arena) Recycle() {
 		a.free = append(a.free, c)
 	}
 	a.used = a.used[:0]
+
+	if a.ccur != nil {
+		a.cused = append(a.cused, a.ccur)
+		a.ccur, a.cn = nil, 0
+	}
+	for _, c := range a.cused {
+		for i := range c {
+			c[i] = Closure{}
+		}
+		a.cfree = append(a.cfree, c)
+	}
+	a.cused = a.cused[:0]
+
+	if a.vcur != nil {
+		a.vused = append(a.vused, a.vcur)
+		a.vcur, a.vn = nil, 0
+	}
+	for _, c := range a.vused {
+		for i := range c {
+			c[i] = Value{}
+		}
+		a.vfree = append(a.vfree, c)
+	}
+	a.vused = a.vused[:0]
 }
 
-// Live reports the number of cells handed out since the last Recycle
-// (diagnostics and tests).
+// Live reports the number of pair cells handed out since the last
+// Recycle (diagnostics and tests).
 func (a *Arena) Live() int {
 	if a == nil {
 		return 0
@@ -409,8 +571,34 @@ func (a *Arena) Live() int {
 	return len(a.used)*arenaChunk + a.n
 }
 
+// LiveClosures reports the number of closure objects handed out since
+// the last Recycle (diagnostics and tests).
+func (a *Arena) LiveClosures() int {
+	if a == nil {
+		return 0
+	}
+	return len(a.cused)*closureChunk + a.cn
+}
+
+// LiveValueCells reports the number of value-slab cells (class-rounded)
+// handed out since the last Recycle (diagnostics and tests).
+func (a *Arena) LiveValueCells() int {
+	if a == nil {
+		return 0
+	}
+	return len(a.vused)*valueChunk + a.vn
+}
+
 // Cons allocates a pair from the context's arena (plain heap when the
 // context has none).
 func (ctx *Ctx) Cons(car, cdr Value) Value {
 	return Value{p: ctx.Arena.NewPair(car, cdr)}
+}
+
+// AllocClosure allocates a closure from the context's arena (plain
+// heap when the context has none). Like Cons, it is the only path by
+// which engine code reaches the closure slab, so the ownership story
+// stays "everything slab-backed flows through Ctx".
+func (ctx *Ctx) AllocClosure(proc, nfree int) *Closure {
+	return ctx.Arena.AllocClosure(proc, nfree)
 }

@@ -347,3 +347,186 @@ func TestSymbolStringIntern(t *testing.T) {
 		t.Errorf("nil-Ctx conversion failed")
 	}
 }
+
+// TestAllocClosureSlab pins the closure-slab basics: slab-backed
+// closures carry the requested proc index and a zeroed Free slice of
+// exactly the requested length, with capacity rounded to the
+// power-of-two class.
+func TestAllocClosureSlab(t *testing.T) {
+	a := &Arena{}
+	cl := a.AllocClosure(7, 3)
+	if cl.Proc != 7 {
+		t.Errorf("Proc = %d, want 7", cl.Proc)
+	}
+	if len(cl.Free) != 3 {
+		t.Fatalf("len(Free) = %d, want 3", len(cl.Free))
+	}
+	if cap(cl.Free) != 4 {
+		t.Errorf("cap(Free) = %d, want class 4", cap(cl.Free))
+	}
+	for i, v := range cl.Free {
+		if !v.IsNone() {
+			t.Errorf("Free[%d] not zeroed: %v", i, v)
+		}
+	}
+	if a.LiveClosures() != 1 {
+		t.Errorf("LiveClosures = %d, want 1", a.LiveClosures())
+	}
+	if a.LiveValueCells() != 4 {
+		t.Errorf("LiveValueCells = %d, want 4 (class-rounded)", a.LiveValueCells())
+	}
+	// Two closures carved from one value slab must not alias.
+	cl2 := a.AllocClosure(8, 2)
+	cl.Free[2] = FixV(1)
+	cl2.Free[0] = FixV(2)
+	if v, _ := cl.Free[2].Fixnum(); v != 1 {
+		t.Error("free slices of distinct closures alias")
+	}
+	// Appending past a slab slice's class capacity must reallocate
+	// rather than scribble on the neighbor (the VM never appends; this
+	// pins the three-index carve).
+	grown := append(cl.Free, FixV(9))
+	if &grown[0] == &cl.Free[0] && cap(cl.Free) != len(grown) {
+		t.Error("append grew in place past the class capacity")
+	}
+}
+
+// TestAllocClosureZeroFree: a closure with no free variables gets a nil
+// Free and touches only the closure slab.
+func TestAllocClosureZeroFree(t *testing.T) {
+	a := &Arena{}
+	cl := a.AllocClosure(3, 0)
+	if cl.Proc != 3 || cl.Free != nil {
+		t.Errorf("zero-free closure = %+v, want Proc 3, nil Free", cl)
+	}
+	if a.LiveValueCells() != 0 {
+		t.Errorf("zero-free closure drew %d value cells", a.LiveValueCells())
+	}
+	var nilA *Arena
+	hc := nilA.AllocClosure(3, 0)
+	if hc.Proc != 3 || hc.Free != nil {
+		t.Errorf("nil-arena zero-free closure = %+v", hc)
+	}
+}
+
+// TestClosureSlabGrowthAndRecycle fills several slabs of both kinds,
+// recycles, and proves the slabs are zeroed and reused — the same
+// contract TestArenaRecycle pins for pairs.
+func TestClosureSlabGrowthAndRecycle(t *testing.T) {
+	a := &Arena{}
+	const n = closureChunk + 33 // forces a second closure slab
+	cls := make([]*Closure, n)
+	for i := 0; i < n; i++ {
+		// 5 free vars → class 8; n*8 cells forces several value slabs.
+		cls[i] = a.AllocClosure(i, 5)
+		for j := range cls[i].Free {
+			cls[i].Free[j] = FixV(int64(i))
+		}
+	}
+	if a.LiveClosures() != n {
+		t.Errorf("LiveClosures = %d, want %d", a.LiveClosures(), n)
+	}
+	if a.LiveValueCells() < n*8 {
+		t.Errorf("LiveValueCells = %d, want >= %d", a.LiveValueCells(), n*8)
+	}
+	for i, cl := range cls {
+		if cl.Proc != i {
+			t.Fatalf("closure %d corrupted before recycle", i)
+		}
+		if v, _ := cl.Free[4].Fixnum(); v != int64(i) {
+			t.Fatalf("closure %d free slice corrupted before recycle", i)
+		}
+	}
+	a.Recycle()
+	if a.LiveClosures() != 0 || a.LiveValueCells() != 0 {
+		t.Errorf("after Recycle: closures=%d cells=%d", a.LiveClosures(), a.LiveValueCells())
+	}
+	// Recycle zeroes both slabs: the old pointers see dead objects.
+	for _, cl := range cls {
+		if cl.Proc != 0 || cl.Free != nil {
+			t.Fatal("recycle did not zero closure cells")
+		}
+	}
+	// And the slabs are reused, not reallocated.
+	reused := a.AllocClosure(99, 1)
+	found := false
+	for _, cl := range cls {
+		if cl == reused {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("recycled closure slab not reused by the next allocation")
+	}
+}
+
+// TestAllocClosureOversized: a free-variable count past the value-slab
+// capacity falls back to a heap slice but still works.
+func TestAllocClosureOversized(t *testing.T) {
+	a := &Arena{}
+	cl := a.AllocClosure(1, valueChunk+1)
+	if len(cl.Free) != valueChunk+1 {
+		t.Fatalf("len(Free) = %d", len(cl.Free))
+	}
+	if a.LiveValueCells() != 0 {
+		t.Errorf("oversized slice drew %d slab cells", a.LiveValueCells())
+	}
+	cl.Free[valueChunk] = FixV(5)
+	a.Recycle() // must not panic with a heap Free in a slab closure
+}
+
+// TestSliceClass pins the capacity classes.
+func TestSliceClass(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 9: 16, 100: 128, 512: 512}
+	for n, want := range cases {
+		if got := sliceClass(n); got != want {
+			t.Errorf("sliceClass(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// TestCopyTreeCopiesClosures: CopyTree with a nil arena is the
+// documented escape hatch for retaining a run's result past
+// Machine.Recycle; with closures now slab-backed it must deep-copy
+// them (object and Free slice) off the arena.
+func TestCopyTreeCopiesClosures(t *testing.T) {
+	a := &Arena{}
+	inner := a.NewPair(FixV(1), Empty)
+	cl := a.AllocClosure(4, 2)
+	cl.Free[0] = PairV(inner)
+	cl.Free[1] = FixV(8)
+	orig := ObjV(cl)
+
+	cp := CopyTree(nil, orig)
+	ccl, ok := cp.Heap().(*Closure)
+	if !ok {
+		t.Fatalf("copy is not a closure: %v", cp)
+	}
+	if ccl == cl {
+		t.Fatal("closure not copied")
+	}
+	if ccl.Proc != 4 || len(ccl.Free) != 2 {
+		t.Fatalf("copy shape = %+v", ccl)
+	}
+	cpair, ok := ccl.Free[0].Pair()
+	if !ok || cpair == inner {
+		t.Fatal("captured pair not deep-copied")
+	}
+
+	// Recycling the arena must leave the copy intact.
+	a.Recycle()
+	if ccl.Proc != 4 {
+		t.Error("heap copy damaged by Recycle")
+	}
+	if car, _ := cpair.Car.Fixnum(); car != 1 {
+		t.Error("heap-copied pair damaged by Recycle")
+	}
+	if v, _ := ccl.Free[1].Fixnum(); v != 8 {
+		t.Error("immediate free value damaged by Recycle")
+	}
+	// The original slab closure is dead, as the contract says.
+	if cl.Proc != 0 || cl.Free != nil {
+		t.Error("slab closure survived Recycle; zeroing broken")
+	}
+}

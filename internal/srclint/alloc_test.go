@@ -212,6 +212,73 @@ func TestRealBaselineReportsReintroducedBoxing(t *testing.T) {
 	}
 }
 
+// TestRealBaselineReportsReintroducedClosureAlloc: the closure-slab
+// overhaul (PR 10) moved closure allocation off the Go heap and into
+// the per-machine arena, so the committed ALLOC_BASELINE.json no
+// longer carries a "&Closure{...} escapes to heap" entry for either
+// engine. This test proves the shrunken baseline defends that win the
+// same way the boxing test above defends the tagged representation: a
+// PR that reverts an engine's OpClosure arm to a heap literal — or
+// re-adds the per-closure make([]prim.Value, ...) free slice — cannot
+// pass lsrvet.
+func TestRealBaselineReportsReintroducedClosureAlloc(t *testing.T) {
+	data, err := os.ReadFile("../../ALLOC_BASELINE.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := ReadBaseline(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range base.Sites {
+		if strings.Contains(s.Message, "&Closure{...}") {
+			t.Fatalf("baseline still carries a closure heap site (%+v); the slab overhaul should have removed it", s)
+		}
+	}
+	cfg := DefaultAllocConfig()
+	cur := append([]AllocSite(nil), base.Sites...)
+	cur = append(cur,
+		AllocSite{
+			File:    "internal/vm/exec.go",
+			Message: "&Closure{...} escapes to heap",
+			Count:   1,
+			line:    936,
+		},
+		AllocSite{
+			File:    "internal/vm/exec.go",
+			Message: "make([]prim.Value, len(d.regs)) escapes to heap",
+			Count:   1,
+			line:    928,
+		})
+	sortSites(cur)
+
+	fs, stale, err := DiffAlloc(base, cur, base.GoVersion, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stale) != 0 {
+		t.Errorf("unexpected stale entries: %v", stale)
+	}
+	if len(fs) != 2 {
+		t.Fatalf("expected two new-heap-escape findings, got %+v", fs)
+	}
+	var sawClosure, sawSlice bool
+	for _, f := range fs {
+		if f.Kind != "new-heap-escape" {
+			t.Errorf("finding kind = %q, want new-heap-escape", f.Kind)
+		}
+		if strings.Contains(f.Msg, "&Closure{...} escapes to heap") {
+			sawClosure = true
+		}
+		if strings.Contains(f.Msg, "make([]prim.Value, len(d.regs)) escapes to heap") {
+			sawSlice = true
+		}
+	}
+	if !sawClosure || !sawSlice {
+		t.Errorf("findings do not name both reintroduced closure sites: %+v", fs)
+	}
+}
+
 func TestBaselineRoundTrip(t *testing.T) {
 	b := allocBase(t)
 	var sb strings.Builder

@@ -57,9 +57,13 @@ type ImmutabilityConfig struct {
 // writer is the engine() decode-cache initializer, which is guarded by
 // sync.Once and therefore safe under the sharing contract. The codegen
 // constructor builds the Program in one composite literal and never
-// writes through it afterwards, so it needs no entry. The pair arena is
+// writes through it afterwards, so it needs no entry. The arena — and
+// with it the pair, closure, and free-variable-slice slabs — is
 // forbidden from being reachable at all: it belongs to exactly one
-// Machine.
+// Machine. prim.Closure is forbidden separately because closure
+// objects live INSIDE the arena's slabs (PR 10): a declared path from
+// the shared Program to a Closure would pin per-machine recycled
+// memory into shared state even without naming the Arena type.
 func DefaultImmutabilityConfig() ImmutabilityConfig {
 	return ImmutabilityConfig{
 		Type: "repro/internal/vm.Program",
@@ -72,7 +76,10 @@ func DefaultImmutabilityConfig() ImmutabilityConfig {
 			"repro/internal/dataflow.withConst",
 			"repro/internal/dataflow.withPrim",
 		},
-		Forbid: []string{"repro/internal/prim.Arena"},
+		Forbid: []string{
+			"repro/internal/prim.Arena",
+			"repro/internal/prim.Closure",
+		},
 	}
 }
 

@@ -64,10 +64,12 @@ func leakSeeded() *int {
 }
 `)
 	// Violation 4 (arena reachability): a per-machine Arena field on the
-	// shared Program.
+	// shared Program, plus a slab-owned closure pointer (closures are
+	// arena-backed since the closure-slab overhaul, so a declared path
+	// from Program to a Closure pins recycled memory the same way).
 	replaceIn(t, filepath.Join(tmp, "internal/vm/instr.go"),
 		"type Program struct {",
-		"type Program struct {\n\tSeededArena *prim.Arena // seeded violation\n")
+		"type Program struct {\n\tSeededArena *prim.Arena // seeded violation\n\tSeededBoot *prim.Closure // seeded violation\n")
 
 	res, err := Run(DefaultOptions(tmp))
 	if err != nil {

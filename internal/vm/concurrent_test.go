@@ -67,23 +67,37 @@ func TestConcurrentMachinesOneProgram(t *testing.T) {
 // under the race detector: 64 machines share one immutable Program,
 // and each machine runs it repeatedly with Recycle between runs, so
 // every machine is concurrently zeroing and re-handing-out its own
-// pair cells. Since the program's pairs come from copyConst (which
-// draws from the machine arena), any accidental sharing of arena state
-// — through the Program, the decode cache, or a global — shows up as a
-// race or as cross-run value corruption; recycled-slab reuse showing a
-// stale value shows up as a wrong result.
+// pair, closure, and free-slice cells. The program routes its result
+// through every slab kind: the pair comes from copyConst, and the call
+// goes through an OpClosure capture, so the closure object and its
+// free slice come from the closure/value-slice slabs added in PR 10.
+// Any accidental sharing of arena state — through the Program, the
+// decode cache, or a global — shows up as a race or as cross-run value
+// corruption; recycled-slab reuse showing a stale value shows up as a
+// wrong result.
 func TestConcurrentArenaRecycling(t *testing.T) {
 	s0, s1 := DefaultConfig().ScratchReg(0), DefaultConfig().ScratchReg(1)
 	p := asm(
+		Instr{Op: OpStoreSlot, A: RegRet, B: 0, Kind: KindSave},
 		// load the mutable pair constant '(1 . 2) (arena-copied per load)
 		Instr{Op: OpLoadConst, A: s0, B: 0},
 		// (set-car! it 7) mutates this machine's arena cell
 		Instr{Op: OpLoadConst, A: s1, B: 1},
-		Instr{Op: OpPrim, A: RegRV, B: 0, Regs: []int{s0, s1}},
-		// return (car it)
-		Instr{Op: OpPrim, A: RegRV, B: 1, Regs: []int{s0}},
+		Instr{Op: OpPrim, A: s1, B: 0, Regs: []int{s0, s1}},
+		// close over the mutated pair and call f, which returns its car
+		Instr{Op: OpClosure, A: RegCP, B: 1, Regs: []int{s0}},
+		Instr{Op: OpCall, A: 0, B: 8},
+		Instr{Op: OpLoadSlot, A: RegRet, B: 0, Kind: KindRestore},
 		Instr{Op: OpReturn},
 	)
+	entry := len(p.Code)
+	p.Code = append(p.Code,
+		Instr{Op: OpEntry, A: 0, B: 4},
+		Instr{Op: OpFreeRef, A: s0, B: 0},
+		Instr{Op: OpPrim, A: RegRV, B: 1, Regs: []int{s0}}, // (car pair)
+		Instr{Op: OpReturn},
+	)
+	p.Procs = append(p.Procs, ProcInfo{Name: "f", Entry: entry, NFree: 1})
 	_, p = p.withConst(prim.PairV(&prim.Pair{Car: prim.FixV(1), Cdr: prim.FixV(2)}))
 	p.ConstMutable[0] = true
 	_, p = p.withConst(prim.FixV(7))

@@ -925,15 +925,15 @@ func (m *Machine) runThreaded() (prim.Value, error) {
 			m.pc++
 
 		case xClosure:
-			free := make([]prim.Value, len(d.regs))
+			cl := m.ctx.AllocClosure(d.b, len(d.regs))
 			for i, r := range d.regs {
 				v, err := m.readOperand(r)
 				if err != nil {
 					return prim.Value{}, err
 				}
-				free[i] = v
+				cl.Free[i] = v
 			}
-			m.writeReg(d.a, prim.ObjV(&Closure{Proc: d.b, Free: free}))
+			m.writeReg(d.a, prim.ObjV(cl))
 			m.pc++
 
 		case xClosurePatch:

@@ -120,7 +120,10 @@ func (m *Machine) errf(format string, args ...interface{}) error {
 func (m *Machine) Run() (prim.Value, error) {
 	m.fine = m.Counting == CountFull
 	main := m.prog.Procs[m.prog.MainIndex]
-	m.regs[RegCP] = prim.ObjV(&Closure{Proc: m.prog.MainIndex})
+	// The main (bootstrap) closure comes from the machine's own arena
+	// slab like every other closure; it lives exactly one run, which is
+	// within the Recycle contract (Run re-allocates it each time).
+	m.regs[RegCP] = prim.ObjV(m.ctx.AllocClosure(m.prog.MainIndex, 0))
 	m.regs[RegRet] = m.retAddr(0, 0) // code[0] is halt
 	m.pc = main.Entry
 	m.fp = 0
@@ -159,13 +162,16 @@ func retTarget(v prim.Value) (pc, fp int, ok bool) {
 	return 0, 0, false
 }
 
-// Recycle returns every pair cell the machine's arena has handed out to
-// the free list for reuse by subsequent runs. It invalidates ALL values
-// produced by prior runs — including list structure referenced from the
-// result value or stored into globals — so callers may only recycle
-// when those values are no longer needed (e.g. a benchmark harness
-// re-running the same program). The next Run starts with a warm arena
-// and near-zero pair allocation.
+// Recycle returns every pair cell, closure object, and free-variable
+// slice the machine's arena has handed out to the free lists for reuse
+// by subsequent runs. It invalidates ALL values produced by prior runs
+// — including list structure or closures referenced from the result
+// value or stored into globals — so callers may only recycle when
+// those values are no longer needed (e.g. a benchmark harness
+// re-running the same program); prim.CopyTree with a nil arena copies
+// a result off the arena first when it must outlive the recycle. The
+// next Run starts with warm slabs and near-zero pair/closure
+// allocation.
 func (m *Machine) Recycle() { m.ctx.Arena.Recycle() }
 
 // call dispatches a procedure invocation. newFP is the callee frame

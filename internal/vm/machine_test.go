@@ -416,3 +416,105 @@ func TestCountersString(t *testing.T) {
 		}
 	}
 }
+
+// TestBootstrapClosureSlabLifetime pins the machine.go bootstrap
+// closure contract: the zero-capture closure Run installs in RegCP
+// comes from the machine's closure slab, survives for the whole run
+// (and after it, until the embedder recycles), and a Recycle/re-Run
+// cycle hands out a fresh one from the same recycled slab.
+func TestBootstrapClosureSlabLifetime(t *testing.T) {
+	p := asm(
+		Instr{Op: OpLoadConst, A: RegRV, B: 0},
+		Instr{Op: OpReturn},
+	)
+	_, p = p.withConst(prim.FixV(7))
+	m := New(p, nil)
+	v, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != prim.FixV(7) {
+		t.Fatalf("got %v", v)
+	}
+	// No calls happened, so RegCP still holds the bootstrap closure.
+	boot, ok := m.regs[RegCP].Heap().(*Closure)
+	if !ok {
+		t.Fatalf("RegCP does not hold a closure after Run: %v", m.regs[RegCP])
+	}
+	if boot.Proc != p.MainIndex || boot.Free != nil {
+		t.Fatalf("bootstrap closure = %+v, want Proc %d with nil Free", boot, p.MainIndex)
+	}
+	if m.ctx.Arena.LiveClosures() != 1 {
+		t.Errorf("LiveClosures after run = %d, want 1 (just the bootstrap)", m.ctx.Arena.LiveClosures())
+	}
+
+	m.Recycle()
+	if m.ctx.Arena.LiveClosures() != 0 {
+		t.Errorf("LiveClosures after Recycle = %d, want 0", m.ctx.Arena.LiveClosures())
+	}
+	// A second run draws a fresh bootstrap closure from the recycled slab.
+	v, err = m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != prim.FixV(7) {
+		t.Fatalf("re-run after Recycle: got %v", v)
+	}
+	if m.ctx.Arena.LiveClosures() != 1 {
+		t.Errorf("LiveClosures after re-run = %d, want 1", m.ctx.Arena.LiveClosures())
+	}
+}
+
+// TestClosureResultEscapesViaCopyTree is the escape-hatch proof for
+// closure results: a closure returned by a run lives in the machine's
+// arena, so an embedder that wants to hold it across Recycle must deep
+// copy it with prim.CopyTree(nil, v) — and the copy (object, free
+// slice, and captured pairs alike) must survive a Recycle that kills
+// the originals.
+func TestClosureResultEscapesViaCopyTree(t *testing.T) {
+	s0, s1 := DefaultConfig().ScratchReg(0), DefaultConfig().ScratchReg(1)
+	p := asm(
+		// capture '(1 . 2) (arena-copied per load) and the fixnum 9
+		Instr{Op: OpLoadConst, A: s0, B: 0},
+		Instr{Op: OpLoadConst, A: s1, B: 1},
+		Instr{Op: OpClosure, A: RegRV, B: 0, Regs: []int{s0, s1}},
+		Instr{Op: OpReturn},
+	)
+	p.Consts = append(p.Consts, prim.PairV(&prim.Pair{Car: prim.FixV(1), Cdr: prim.FixV(2)}))
+	p.ConstMutable = append(p.ConstMutable, true)
+	_, p = p.withConst(prim.FixV(9))
+	m := New(p, nil)
+	v, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, ok := v.Heap().(*Closure)
+	if !ok {
+		t.Fatalf("result is not a closure: %v", v)
+	}
+
+	cp := prim.CopyTree(nil, v)
+	kept, ok := cp.Heap().(*Closure)
+	if !ok || kept == orig {
+		t.Fatalf("CopyTree did not produce a fresh closure: %v", cp)
+	}
+
+	m.Recycle()
+	if kept.Proc != p.MainIndex || len(kept.Free) != 2 {
+		t.Fatalf("escaped copy damaged by Recycle: %+v", kept)
+	}
+	pair, ok := kept.Free[0].Pair()
+	if !ok {
+		t.Fatal("escaped copy lost its captured pair")
+	}
+	if car, _ := pair.Car.Fixnum(); car != 1 {
+		t.Errorf("escaped pair car = %v, want 1", pair.Car)
+	}
+	if kept.Free[1] != prim.FixV(9) {
+		t.Errorf("escaped immediate = %v, want 9", kept.Free[1])
+	}
+	// The original slab closure is dead, as the contract says.
+	if orig.Free != nil {
+		t.Error("slab closure survived Recycle; zeroing broken")
+	}
+}

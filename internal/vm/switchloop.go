@@ -103,15 +103,15 @@ func (m *Machine) loop() (prim.Value, error) {
 			m.pc++
 
 		case OpClosure:
-			free := make([]prim.Value, len(in.Regs))
+			cl := m.ctx.AllocClosure(in.B, len(in.Regs))
 			for i, r := range in.Regs {
 				v, err := m.readOperand(r)
 				if err != nil {
 					return prim.Value{}, err
 				}
-				free[i] = v
+				cl.Free[i] = v
 			}
-			m.writeReg(in.A, prim.ObjV(&Closure{Proc: in.B, Free: free}))
+			m.writeReg(in.A, prim.ObjV(cl))
 			m.pc++
 
 		case OpClosurePatch:

@@ -3,13 +3,13 @@ package vm
 import "repro/internal/prim"
 
 // Closure is a compiled procedure paired with its free-variable values.
-type Closure struct {
-	Proc int // procedure index into Program.Procs
-	Free []prim.Value
-}
-
-// SchemeProcedure marks Closure as a procedure.
-func (*Closure) SchemeProcedure() {}
+// It is an alias for prim.Closure: the type lives in prim so closure
+// objects and their Free slices can come from the per-machine
+// prim.Arena slabs (via Ctx.AllocClosure) under the same Recycle
+// lifetime contract as pair cells. Engine code must allocate closures
+// through m.ctx.AllocClosure, never with a literal — the alloc-baseline
+// gate (lsrvet) fails on a reintroduced &Closure{...} heap site.
+type Closure = prim.Closure
 
 // PrimValue is a primitive as a first-class value (a global cell's
 // initial content).
